@@ -1,0 +1,65 @@
+"""Micro-benchmarks on the paper's worked examples (Figs. 1–5, §II, §V-D).
+
+These are true pytest-benchmark kernels (many rounds) and double as golden
+regression checks against the published numbers.
+"""
+
+import pytest
+
+from repro.baselines import yds_schedule
+from repro.core import SubintervalScheduler
+from repro.optimal import solve_optimal
+from repro.power import PolynomialPower
+from repro.workloads import (
+    SIX_TASK_EXPECTED,
+    intro_example,
+    motivational_power,
+    six_task_example,
+)
+
+
+def test_six_task_pipeline_f2(benchmark):
+    """§V-D: full DER pipeline on the six-task quad-core example."""
+    tasks = six_task_example()
+    power = PolynomialPower(alpha=3.0, static=0.0)
+
+    def run():
+        return SubintervalScheduler(tasks, 4, power).final("der").energy
+
+    energy = benchmark(run)
+    assert energy == pytest.approx(SIX_TASK_EXPECTED["energy_F2"], abs=1e-3)
+
+
+def test_six_task_pipeline_f1(benchmark):
+    """§V-D: full even-allocation pipeline on the six-task example."""
+    tasks = six_task_example()
+    power = PolynomialPower(alpha=3.0, static=0.0)
+
+    def run():
+        return SubintervalScheduler(tasks, 4, power).final("even").energy
+
+    energy = benchmark(run)
+    assert energy == pytest.approx(SIX_TASK_EXPECTED["energy_F1"], abs=1e-3)
+
+
+def test_yds_intro_example(benchmark):
+    """Figs. 1–2: YDS on the three-task uniprocessor example."""
+    tasks = intro_example()
+
+    def run():
+        return yds_schedule(tasks).energy
+
+    energy = benchmark(run)
+    assert energy == pytest.approx(4 * 1.0 + 8 * 0.75**3)
+
+
+def test_motivational_optimal(benchmark):
+    """§II: the KKT example solved by the interior-point method."""
+    tasks = intro_example()
+    power = motivational_power()
+
+    def run():
+        return solve_optimal(tasks, 2, power).energy
+
+    energy = benchmark(run)
+    assert energy == pytest.approx(155 / 32 + 0.2, rel=1e-6)

@@ -1,0 +1,74 @@
+"""Benchmarks for the extension experiments (DESIGN.md ablation index).
+
+These are the design-choice ablations beyond the paper's own figures:
+allocation weighting, DVFS switching robustness, discrete execution
+strategies, and the online re-planning premium.
+"""
+
+from repro.experiments import (
+    ablation_der,
+    ablation_online,
+    ablation_switching,
+    ablation_two_level,
+)
+
+from .conftest import reps
+
+
+def test_ablation_allocation_weights(benchmark, results_dir):
+    result = benchmark.pedantic(
+        lambda: ablation_der.run(reps=max(reps() * 3, 15), seed=0),
+        rounds=1,
+        iterations=1,
+    )
+    print("\n" + result.format())
+    (results_dir / "ablation_der.csv").write_text(result.to_csv())
+    benchmark.extra_info["mean_nec"] = result.mean_nec
+
+    assert result.mean_nec["der"] <= result.mean_nec["even"]
+    assert result.mean_nec["der"] <= result.mean_nec["work"]
+
+
+def test_ablation_switching_costs(benchmark, results_dir):
+    result = benchmark.pedantic(
+        lambda: ablation_switching.run(reps=max(reps() * 2, 10), seed=0),
+        rounds=1,
+        iterations=1,
+    )
+    print("\n" + result.format())
+    (results_dir / "ablation_switching.csv").write_text(result.to_csv())
+    benchmark.extra_info["mean_switches"] = result.mean_switches
+
+    assert result.ranking_preserved(), "F2 < F1 must survive switching costs"
+
+
+def test_ablation_two_level_vs_round_up(benchmark, results_dir):
+    result = benchmark.pedantic(
+        lambda: ablation_two_level.run(reps=max(reps() * 2, 10), seed=0),
+        rounds=1,
+        iterations=1,
+    )
+    print("\n" + result.format())
+    (results_dir / "ablation_two_level.csv").write_text(result.to_csv())
+
+    # the honest finding: round-up wins on the (non-convex) XScale table
+    import numpy as np
+
+    assert np.all(result.round_up <= result.two_level * (1 + 1e-9))
+
+
+def test_ablation_online_premium(benchmark, results_dir):
+    result = benchmark.pedantic(
+        lambda: ablation_online.run(reps=max(reps(), 5), seed=0),
+        rounds=1,
+        iterations=1,
+    )
+    print("\n" + result.format())
+    (results_dir / "ablation_online.csv").write_text(result.to_csv())
+    benchmark.extra_info["premium"] = [float(p) for p in result.online_premium]
+
+    import numpy as np
+
+    # the online premium exists but stays moderate
+    assert np.all(result.online_premium >= 1.0 - 0.02)
+    assert np.all(result.online_premium < 2.0)

@@ -1,0 +1,22 @@
+"""Benchmark regenerating Fig. 10: NEC vs number of tasks.
+
+Paper shape: with n close to m everything is near-ideal; contention (and the
+F1/F2 gap) grows with n while F2 stays closest to optimal.
+"""
+
+from repro.experiments import fig10
+
+from .conftest import report, reps, workers
+
+
+def test_fig10_nec_vs_task_count(benchmark, results_dir):
+    result = benchmark.pedantic(
+        lambda: fig10.run(reps=reps(), seed=0, workers=workers()),
+        rounds=1,
+        iterations=1,
+    )
+    report(benchmark, result, results_dir, "fig10")
+    f2 = result.series["F2"]
+    f1 = result.series["F1"]
+    assert f2[0] < 1.1, "n=5 on 4 cores is nearly uncontended"
+    assert all(a <= b + 0.05 for a, b in zip(f2, f1))

@@ -1,0 +1,29 @@
+"""Benchmark regenerating Fig. 11: the XScale practical-processor run.
+
+Paper shape: practical F2 stays closest to optimal; I1/F1's deadline-miss
+probability is significant under contention, I2's non-negligible, F2's
+negligible.
+"""
+
+from repro.experiments import fig11
+
+from .conftest import report, reps, workers
+
+
+def test_fig11_xscale_practical(benchmark, results_dir):
+    result = benchmark.pedantic(
+        lambda: fig11.run(reps=reps(), seed=0, workers=workers()),
+        rounds=1,
+        iterations=1,
+    )
+    report(benchmark, result, results_dir, "fig11")
+
+    f2 = result.series["F2"]
+    f1 = result.series["F1"]
+    assert all(a <= b + 0.05 for a, b in zip(f2, f1))
+
+    miss = result.extra_series
+    # F2 misses no more often than I1 at every load level
+    assert all(a <= b + 1e-9 for a, b in zip(miss["miss_F2"], miss["miss_I1"]))
+    # and F2's overall miss probability is negligible vs I1's
+    assert sum(miss["miss_F2"]) <= sum(miss["miss_I1"])

@@ -1,0 +1,25 @@
+"""Benchmark regenerating Fig. 6: NEC vs static power p0.
+
+Paper shape to verify: I1/F1 well above optimal across the range (worst at
+low p0); I2/F2 stable; F2 within ~1.0–1.15 of optimal, improving as p0
+grows.
+"""
+
+from repro.experiments import fig6
+
+from .conftest import report, reps, workers
+
+
+def test_fig6_nec_vs_static_power(benchmark, results_dir):
+    result = benchmark.pedantic(
+        lambda: fig6.run(reps=reps(), seed=0, workers=workers()),
+        rounds=1,
+        iterations=1,
+    )
+    report(benchmark, result, results_dir, "fig6")
+    f2 = result.series["F2"]
+    f1 = result.series["F1"]
+    assert all(a <= b + 0.05 for a, b in zip(f2, f1)), "F2 must not exceed F1"
+    assert max(f2) < 1.3, "F2 should stay near-optimal across the p0 sweep"
+    # paper: NEC of F2 decreases as static power grows
+    assert f2[-1] <= f2[0] + 0.05

@@ -1,0 +1,24 @@
+"""Benchmark regenerating Fig. 7: NEC vs dynamic exponent alpha (p0 = 0).
+
+Paper shape: even-allocation schedules degrade with alpha (the over-speed
+penalty is ~(n_j/m)^(alpha-1)); F2 stays flat near 1.1.
+"""
+
+from repro.experiments import fig7
+
+from .conftest import report, reps, workers
+
+
+def test_fig7_nec_vs_alpha(benchmark, results_dir):
+    result = benchmark.pedantic(
+        lambda: fig7.run(reps=reps(), seed=0, workers=workers()),
+        rounds=1,
+        iterations=1,
+    )
+    report(benchmark, result, results_dir, "fig7")
+    f2 = result.series["F2"]
+    i1 = result.series["I1"]
+    assert all(a <= b for a, b in zip(f2, i1)), "F2 must beat I1 at every alpha"
+    assert max(f2) < 1.3
+    # even-allocation penalty grows with alpha
+    assert i1[-1] >= i1[0] - 0.1

@@ -1,0 +1,21 @@
+"""Benchmark regenerating Fig. 8: NEC vs number of cores.
+
+Paper shape: F2's NEC is worst at m = 2 and drops sharply as cores are
+added (more cores -> fewer heavily overlapped subintervals).
+"""
+
+from repro.experiments import fig8
+
+from .conftest import report, reps, workers
+
+
+def test_fig8_nec_vs_cores(benchmark, results_dir):
+    result = benchmark.pedantic(
+        lambda: fig8.run(reps=reps(), seed=0, workers=workers()),
+        rounds=1,
+        iterations=1,
+    )
+    report(benchmark, result, results_dir, "fig8")
+    f2 = result.series["F2"]
+    assert f2[0] == max(f2), "F2 should be worst at m=2"
+    assert f2[-1] < 1.05, "with 12 cores F2 is essentially optimal"

@@ -1,0 +1,25 @@
+"""Benchmark regenerating Fig. 9: NEC vs task-intensity generation range.
+
+Paper shape: F2 stays flat and near-optimal across [x, 1.0] ranges while the
+other schedules fluctuate.
+"""
+
+import numpy as np
+
+from repro.experiments import fig9
+
+from .conftest import report, reps, workers
+
+
+def test_fig9_nec_vs_intensity_range(benchmark, results_dir):
+    result = benchmark.pedantic(
+        lambda: fig9.run(reps=reps(), seed=0, workers=workers()),
+        rounds=1,
+        iterations=1,
+    )
+    report(benchmark, result, results_dir, "fig9")
+    f2 = np.array(result.series["F2"])
+    i1 = np.array(result.series["I1"])
+    assert f2.max() < 1.25, "F2 stays near-optimal over the whole range"
+    # F2 is the most stable series (paper's qualitative claim)
+    assert f2.std() <= i1.std() + 1e-9

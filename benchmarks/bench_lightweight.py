@@ -1,0 +1,68 @@
+"""Ablation: the paper's "lightweight" claim, measured.
+
+The whole argument of §V is that the subinterval heuristic is cheap enough
+for real-time use while the convex-optimal solve is not.  This benchmark
+times both on identical instances and asserts the heuristic's advantage,
+plus a scaling benchmark over n for the pipeline itself.
+"""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.core import SubintervalScheduler
+from repro.optimal import solve_optimal
+from repro.power import PolynomialPower
+from repro.workloads import paper_workload
+from repro.workloads.generator import PaperWorkloadConfig
+
+_POWER = PolynomialPower(alpha=3.0, static=0.1)
+
+
+def _instance(n: int, seed: int = 0):
+    rng = np.random.default_rng(seed)
+    return paper_workload(rng, PaperWorkloadConfig(n_tasks=n))
+
+
+def test_heuristic_f2_runtime(benchmark):
+    tasks = _instance(20)
+    result = benchmark(
+        lambda: SubintervalScheduler(tasks, 4, _POWER).final("der").energy
+    )
+    assert result > 0
+
+
+def test_optimal_solver_runtime(benchmark):
+    tasks = _instance(20)
+    result = benchmark.pedantic(
+        lambda: solve_optimal(tasks, 4, _POWER).energy, rounds=3, iterations=1
+    )
+    assert result > 0
+
+
+def test_heuristic_is_order_of_magnitude_cheaper():
+    """The headline lightweight claim on a 30-task instance."""
+    tasks = _instance(30)
+
+    t0 = time.perf_counter()
+    for _ in range(5):
+        SubintervalScheduler(tasks, 4, _POWER).final("der")
+    heuristic = (time.perf_counter() - t0) / 5
+
+    t0 = time.perf_counter()
+    solve_optimal(tasks, 4, _POWER)
+    optimal = time.perf_counter() - t0
+
+    assert heuristic * 5 < optimal, (
+        f"heuristic ({heuristic:.4f}s) should be >5x cheaper than the "
+        f"optimal solve ({optimal:.4f}s)"
+    )
+
+
+@pytest.mark.parametrize("n", [10, 20, 40, 80])
+def test_pipeline_scaling(benchmark, n):
+    """Pipeline runtime across task counts (complexity curve)."""
+    tasks = _instance(n)
+    benchmark.extra_info["n_tasks"] = n
+    benchmark(lambda: SubintervalScheduler(tasks, 4, _POWER).final("der"))

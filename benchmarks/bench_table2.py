@@ -1,0 +1,40 @@
+"""Benchmark regenerating Table II: NEC of F1/F2 over the (alpha, p0) grid.
+
+The full 11x11 grid at 100 reps is the paper's heaviest experiment; the
+benchmark default uses a coarser 3x3 grid (corners + center) which already
+exhibits the table's shape — set REPRO_FULL=1 for the complete grid.
+"""
+
+import os
+
+import numpy as np
+
+from repro.experiments import table2
+
+from .conftest import reps, workers
+
+
+def _grids():
+    if os.environ.get("REPRO_FULL") == "1":
+        return table2.ALPHA_VALUES, table2.P0_VALUES
+    return (2.0, 2.5, 3.0), (0.0, 0.1, 0.2)
+
+
+def test_table2_alpha_p0_grid(benchmark, results_dir):
+    alphas, p0s = _grids()
+    result = benchmark.pedantic(
+        lambda: table2.run(
+            reps=reps(), seed=0, workers=workers(), alphas=alphas, p0s=p0s
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    print("\n" + result.format())
+    (results_dir / "table2.csv").write_text(result.to_csv())
+    benchmark.extra_info["nec_f2_mean"] = float(result.nec_f2.mean())
+
+    # paper shape: F2 <= F1 everywhere; F2 around 1.0-1.2 throughout
+    assert np.all(result.nec_f2 <= result.nec_f1 + 0.05)
+    assert result.nec_f2.max() < 1.3
+    # F2 improves (or stays flat) as p0 grows, per the paper's discussion
+    assert np.mean(result.nec_f2[:, -1]) <= np.mean(result.nec_f2[:, 0]) + 0.05

@@ -1,0 +1,58 @@
+"""Shared benchmark utilities.
+
+Every figure benchmark runs its experiment once (``benchmark.pedantic`` with
+one round — the payload is a Monte-Carlo sweep, not a microsecond kernel),
+prints the same rows the paper's figure/table shows, archives CSV + SVG
+under ``results/``, and attaches the series to ``extra_info`` so the JSON
+output of pytest-benchmark carries the reproduction data.
+
+Rep counts default to a *benchmark-friendly* size; set the environment
+variable ``REPRO_FULL=1`` to run the paper's full 100 replications.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+# benchmark artifacts go to their own subdirectory so reduced-rep runs never
+# clobber the archived full-scale results in results/
+RESULTS_DIR = Path(__file__).resolve().parent.parent / "results" / "bench"
+
+
+def reps(default_small: int = 5, full: int = 100) -> int:
+    """Benchmark replication count (REPRO_FULL=1 switches to paper scale)."""
+    return full if os.environ.get("REPRO_FULL") == "1" else default_small
+
+
+def workers() -> int:
+    """Worker processes for sweeps (REPRO_WORKERS overrides)."""
+    env = os.environ.get("REPRO_WORKERS")
+    if env:
+        return max(int(env), 1)
+    return 1
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+def archive_sweep(result, results_dir: Path, stem: str) -> None:
+    """Write a SweepResult's CSV and SVG to the results directory."""
+    (results_dir / f"{stem}.csv").write_text(result.to_csv())
+    (results_dir / f"{stem}.svg").write_text(result.to_svg())
+
+
+def report(benchmark, result, results_dir: Path, stem: str) -> None:
+    """Print the paper-style rows and archive artifacts."""
+    text = result.format()
+    print("\n" + text)
+    archive_sweep(result, results_dir, stem)
+    benchmark.extra_info["series"] = result.series
+    if result.extra_series:
+        benchmark.extra_info["extra_series"] = result.extra_series
+    benchmark.extra_info["x_values"] = list(result.x_values)

@@ -1,0 +1,78 @@
+"""repro — Energy-Aware Scheduling for Aperiodic Tasks on Multi-core Processors.
+
+A full reproduction of Li & Wu (ICPP 2014): the subinterval-based DVFS
+scheduling heuristics (even and DER-based allocation, Algorithms 1–2), the
+exact convex-optimal baseline of Theorem 1 with a from-scratch interior-point
+solver, the YDS uniprocessor baseline, a discrete-event multi-core simulator,
+the Intel XScale practical-processor evaluation, and a harness regenerating
+every table and figure of the paper's evaluation section.
+
+Quick start::
+
+    import numpy as np
+    from repro import PolynomialPower, SubintervalScheduler, TaskSet, solve_optimal
+
+    tasks = TaskSet.from_tuples([(0, 10, 8), (2, 18, 14), (4, 16, 8)])
+    power = PolynomialPower(alpha=3.0, static=0.1)
+    result = SubintervalScheduler(tasks, m=4, power=power).final("der")
+    optimal = solve_optimal(tasks, 4, power)
+    print(result.energy / optimal.energy)  # NEC of S^F2
+"""
+
+from .core import (
+    AllocationPlan,
+    CoreSelection,
+    IdealSolution,
+    Schedule,
+    SchedulingResult,
+    Segment,
+    Subinterval,
+    SubintervalScheduler,
+    Task,
+    TaskSet,
+    Timeline,
+    schedule_taskset,
+    select_core_count,
+    solve_ideal,
+)
+from .optimal import OptimalSolution, optimal_schedule, solve_optimal
+from .power import (
+    DiscreteFrequencySet,
+    PolynomialPower,
+    PowerModel,
+    fit_power_model,
+    xscale_frequency_set,
+    xscale_power_model,
+)
+from .sim import execute_schedule, validate_schedule
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    "Task",
+    "TaskSet",
+    "Subinterval",
+    "Timeline",
+    "Schedule",
+    "Segment",
+    "IdealSolution",
+    "solve_ideal",
+    "AllocationPlan",
+    "SchedulingResult",
+    "SubintervalScheduler",
+    "schedule_taskset",
+    "CoreSelection",
+    "select_core_count",
+    "PowerModel",
+    "PolynomialPower",
+    "DiscreteFrequencySet",
+    "fit_power_model",
+    "xscale_power_model",
+    "xscale_frequency_set",
+    "OptimalSolution",
+    "solve_optimal",
+    "optimal_schedule",
+    "execute_schedule",
+    "validate_schedule",
+]

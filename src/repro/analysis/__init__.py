@@ -1,0 +1,40 @@
+"""Analysis & reporting: metrics, text tables, ASCII/SVG visualization."""
+
+from .compare import ScheduleSummary, comparison_table, summarize
+from .gantt import render_gantt, task_glyph
+from .latex import latex_escape, latex_grid_table, latex_series_table
+from .metrics import SERIES, NecAggregate, NecSample, aggregate, nec
+from .report import FIGURE_CLAIMS, generate_report, read_series_csv
+from .stats import ConfidenceInterval, RunningStats, bootstrap_ci, paired_sign_test
+from .svg import PALETTE, gantt_svg, heatmap, line_chart
+from .tables import format_csv, format_series_block, format_table
+
+__all__ = [
+    "SERIES",
+    "NecSample",
+    "NecAggregate",
+    "aggregate",
+    "nec",
+    "format_table",
+    "format_csv",
+    "format_series_block",
+    "render_gantt",
+    "task_glyph",
+    "line_chart",
+    "gantt_svg",
+    "heatmap",
+    "PALETTE",
+    "ConfidenceInterval",
+    "RunningStats",
+    "bootstrap_ci",
+    "paired_sign_test",
+    "FIGURE_CLAIMS",
+    "generate_report",
+    "read_series_csv",
+    "ScheduleSummary",
+    "summarize",
+    "comparison_table",
+    "latex_escape",
+    "latex_series_table",
+    "latex_grid_table",
+]

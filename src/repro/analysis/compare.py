@@ -1,0 +1,94 @@
+"""Side-by-side schedule comparison.
+
+Condenses two (or more) schedules for the same task set into one table:
+energy, NEC (when an optimal reference is supplied), busy time, preemptions,
+migrations, switch counts, and deadline status — the summary every example
+and the datacenter/embedded scenarios print.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping
+
+from ..core.schedule import Schedule
+from ..power.transitions import TransitionModel, analyze_transitions
+from ..sim.validate import validate_schedule
+from .tables import format_table
+
+__all__ = ["ScheduleSummary", "summarize", "comparison_table"]
+
+
+@dataclass(frozen=True)
+class ScheduleSummary:
+    """One schedule's headline numbers."""
+
+    label: str
+    energy: float
+    nec: float | None
+    busy_time: float
+    preemptions: int
+    migrations: int
+    switches: int
+    valid: bool
+
+    def row(self) -> list:
+        """Table row form."""
+        return [
+            self.label,
+            self.energy,
+            self.nec if self.nec is not None else None,
+            self.busy_time,
+            self.preemptions,
+            self.migrations,
+            self.switches,
+            "yes" if self.valid else "NO",
+        ]
+
+
+def summarize(
+    label: str,
+    schedule: Schedule,
+    optimal_energy: float | None = None,
+    check_completion: bool = True,
+) -> ScheduleSummary:
+    """Compute one schedule's summary."""
+    energy = schedule.total_energy()
+    transitions = analyze_transitions(schedule, TransitionModel())
+    violations = validate_schedule(schedule, check_completion=check_completion)
+    return ScheduleSummary(
+        label=label,
+        energy=energy,
+        nec=(energy / optimal_energy) if optimal_energy else None,
+        busy_time=float(schedule.busy_time().sum()),
+        preemptions=schedule.preemption_count(),
+        migrations=schedule.migration_count(),
+        switches=transitions.total_switches,
+        valid=not violations,
+    )
+
+
+def comparison_table(
+    schedules: Mapping[str, Schedule],
+    optimal_energy: float | None = None,
+    title: str | None = None,
+    precision: int = 4,
+) -> str:
+    """Render the comparison of several schedules as a text table."""
+    if not schedules:
+        raise ValueError("no schedules to compare")
+    rows = [
+        summarize(label, sched, optimal_energy).row()
+        for label, sched in schedules.items()
+    ]
+    headers = [
+        "schedule",
+        "energy",
+        "NEC",
+        "busy time",
+        "preempt",
+        "migrate",
+        "switches",
+        "valid",
+    ]
+    return format_table(headers, rows, precision=precision, title=title)

@@ -1,0 +1,87 @@
+"""ASCII Gantt charts of schedules (the paper's Figs. 2, 4, 5 as text).
+
+Renders one row per core over a discretized time axis.  Each cell shows the
+task occupying the core (``1``–``9``, then ``a``–``z``); frequency detail is
+available in the companion legend.  Intended for terminal inspection in the
+examples and for golden-output tests.
+"""
+
+from __future__ import annotations
+
+import io
+
+from ..core.schedule import Schedule
+
+__all__ = ["render_gantt", "task_glyph"]
+
+_GLYPHS = "123456789abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ"
+
+
+def task_glyph(task_id: int) -> str:
+    """Single-character label of a task (``task 0 → '1'``)."""
+    if task_id < len(_GLYPHS):
+        return _GLYPHS[task_id]
+    return "#"
+
+
+def render_gantt(
+    schedule: Schedule,
+    width: int = 88,
+    show_legend: bool = True,
+) -> str:
+    """Render the schedule as an ASCII chart.
+
+    Parameters
+    ----------
+    schedule:
+        A concrete schedule.
+    width:
+        Number of character cells for the full horizon.
+    show_legend:
+        Append a per-task legend with the frequency of each segment.
+    """
+    if width < 10:
+        raise ValueError("width must be >= 10")
+    lo, hi = schedule.tasks.horizon
+    span = hi - lo
+    if span <= 0:
+        raise ValueError("degenerate horizon")
+
+    out = io.StringIO()
+    scale = width / span
+    out.write(f"time {lo:g} .. {hi:g}  ({len(schedule)} segments)\n")
+    for core in range(schedule.n_cores):
+        cells = [" "] * width
+        for seg in schedule.segments_of_core(core):
+            a = int((seg.start - lo) * scale)
+            b = max(int((seg.end - lo) * scale), a + 1)
+            glyph = task_glyph(seg.task_id)
+            for i in range(a, min(b, width)):
+                cells[i] = glyph
+        out.write(f"M{core + 1} |{''.join(cells)}|\n")
+
+    # axis with a few tick marks
+    ticks = 5
+    axis = [" "] * (width + 5)
+    for t in range(ticks + 1):
+        pos = int(t * (width - 1) / ticks)
+        label = f"{lo + span * t / ticks:g}"
+        for i, ch in enumerate(label):
+            if pos + i < len(axis):
+                axis[pos + i] = ch
+    out.write("    " + "".join(axis).rstrip() + "\n")
+
+    if show_legend:
+        out.write("legend:\n")
+        for tid in range(len(schedule.tasks)):
+            segs = schedule.segments_of_task(tid)
+            if not segs:
+                continue
+            t = schedule.tasks[tid]
+            freqs = sorted({round(s.frequency, 6) for s in segs})
+            fstr = ", ".join(f"{f:g}" for f in freqs)
+            out.write(
+                f"  {task_glyph(tid)} = {t.label(tid)} (R={t.release:g}, "
+                f"D={t.deadline:g}, C={t.work:g}) @ f={fstr}\n"
+            )
+    return out.getvalue()

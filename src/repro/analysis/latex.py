@@ -1,0 +1,114 @@
+"""LaTeX table emitters (camera-ready output for the reproduced results).
+
+Produces ``booktabs``-style tables for figure series and the Table II grid —
+the format a paper draft or reproduction report would paste verbatim.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+__all__ = ["latex_series_table", "latex_grid_table", "latex_escape"]
+
+_SPECIALS = {
+    "&": r"\&",
+    "%": r"\%",
+    "$": r"\$",
+    "#": r"\#",
+    "_": r"\_",
+    "{": r"\{",
+    "}": r"\}",
+    "~": r"\textasciitilde{}",
+    "^": r"\textasciicircum{}",
+    "\\": r"\textbackslash{}",
+}
+
+
+def latex_escape(text: str) -> str:
+    """Escape LaTeX special characters in plain text."""
+    return "".join(_SPECIALS.get(ch, ch) for ch in str(text))
+
+
+def _fmt(value, precision: int) -> str:
+    if isinstance(value, float):
+        return f"{value:.{precision}f}"
+    return latex_escape(str(value))
+
+
+def latex_series_table(
+    x_label: str,
+    x_values: Sequence,
+    series: Mapping[str, Sequence[float]],
+    caption: str = "",
+    label: str = "",
+    precision: int = 4,
+) -> str:
+    """A figure's series as a booktabs ``table`` environment."""
+    if not x_values:
+        raise ValueError("x_values is empty")
+    for name, ys in series.items():
+        if len(ys) != len(x_values):
+            raise ValueError(f"series {name!r} length mismatch")
+    cols = "l" + "r" * len(series)
+    lines = [
+        r"\begin{table}[t]",
+        r"  \centering",
+    ]
+    if caption:
+        lines.append(rf"  \caption{{{latex_escape(caption)}}}")
+    if label:
+        lines.append(rf"  \label{{{label}}}")
+    lines += [
+        rf"  \begin{{tabular}}{{{cols}}}",
+        r"    \toprule",
+        "    "
+        + " & ".join([latex_escape(x_label), *map(latex_escape, series.keys())])
+        + r" \\",
+        r"    \midrule",
+    ]
+    for i, x in enumerate(x_values):
+        row = [_fmt(x, precision)] + [
+            _fmt(float(ys[i]), precision) for ys in series.values()
+        ]
+        lines.append("    " + " & ".join(row) + r" \\")
+    lines += [r"    \bottomrule", r"  \end{tabular}", r"\end{table}"]
+    return "\n".join(lines)
+
+
+def latex_grid_table(
+    values,
+    row_labels: Sequence,
+    col_labels: Sequence,
+    corner: str = "",
+    caption: str = "",
+    label: str = "",
+    precision: int = 4,
+) -> str:
+    """A 2-D grid (Table II style) as a booktabs table."""
+    rows = [list(r) for r in values]
+    if not rows or any(len(r) != len(col_labels) for r in rows):
+        raise ValueError("values must be a nonempty grid matching col_labels")
+    if len(row_labels) != len(rows):
+        raise ValueError("row_labels length mismatch")
+    cols = "l" + "r" * len(col_labels)
+    lines = [r"\begin{table}[t]", r"  \centering"]
+    if caption:
+        lines.append(rf"  \caption{{{latex_escape(caption)}}}")
+    if label:
+        lines.append(rf"  \label{{{label}}}")
+    lines += [
+        rf"  \begin{{tabular}}{{{cols}}}",
+        r"    \toprule",
+        "    "
+        + " & ".join([latex_escape(corner), *map(latex_escape, col_labels)])
+        + r" \\",
+        r"    \midrule",
+    ]
+    for rl, row in zip(row_labels, rows):
+        lines.append(
+            "    "
+            + " & ".join([latex_escape(rl), *(_fmt(float(v), precision) for v in row)])
+            + r" \\"
+        )
+    lines += [r"    \bottomrule", r"  \end{tabular}", r"\end{table}"]
+    return "\n".join(lines)

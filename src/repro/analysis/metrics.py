@@ -1,0 +1,91 @@
+"""Evaluation metrics: normalized energy consumption and aggregation.
+
+§VI normalizes every schedule's energy by the optimal energy ``E^(O)`` of
+the convex program — "NEC of X" = ``E^X / E^(O)``.  One Monte-Carlo
+replication of a figure's data point evaluates the five series
+(Idl, I1, F1, I2, F2) on one random task set; a data point averages the
+replications.  :class:`NecSample` and :class:`NecAggregate` are those two
+levels, with Welford-free simple aggregation (samples are small).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Mapping
+
+import numpy as np
+
+__all__ = ["SERIES", "NecSample", "NecAggregate", "aggregate", "nec"]
+
+#: Canonical series order used in every figure of the paper.
+SERIES: tuple[str, ...] = ("Idl", "I1", "F1", "I2", "F2")
+
+
+def nec(energy: float, optimal_energy: float) -> float:
+    """Normalized energy consumption ``E / E^(O)``."""
+    if optimal_energy <= 0:
+        raise ValueError("optimal energy must be positive")
+    return energy / optimal_energy
+
+
+@dataclass(frozen=True)
+class NecSample:
+    """One replication: NEC of each series on one random task set.
+
+    ``extra`` carries experiment-specific observations (e.g. deadline-miss
+    flags in the XScale experiment).
+    """
+
+    optimal_energy: float
+    values: Mapping[str, float]
+    extra: Mapping[str, float] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.optimal_energy <= 0:
+            raise ValueError("optimal energy must be positive")
+        for k, v in self.values.items():
+            if v < 0:
+                raise ValueError(f"negative NEC for series {k}")
+
+    def __getitem__(self, series: str) -> float:
+        return self.values[series]
+
+
+@dataclass(frozen=True)
+class NecAggregate:
+    """Mean/std/min/max NEC per series over many replications."""
+
+    n: int
+    mean: Mapping[str, float]
+    std: Mapping[str, float]
+    minimum: Mapping[str, float]
+    maximum: Mapping[str, float]
+    extra_mean: Mapping[str, float] = field(default_factory=dict)
+
+    def row(self, series_order: Iterable[str] = SERIES) -> list[float]:
+        """Mean NECs in the given series order (figure-row form)."""
+        return [self.mean[s] for s in series_order if s in self.mean]
+
+    def __getitem__(self, series: str) -> float:
+        return self.mean[series]
+
+
+def aggregate(samples: Iterable[NecSample]) -> NecAggregate:
+    """Aggregate replications into per-series statistics."""
+    samples = list(samples)
+    if not samples:
+        raise ValueError("no samples to aggregate")
+    keys = list(samples[0].values.keys())
+    data = {k: np.array([s.values[k] for s in samples]) for k in keys}
+    extra_keys = sorted({k for s in samples for k in s.extra})
+    extra_mean = {
+        k: float(np.mean([s.extra.get(k, np.nan) for s in samples])) for k in extra_keys
+    }
+    return NecAggregate(
+        n=len(samples),
+        mean={k: float(v.mean()) for k, v in data.items()},
+        std={k: float(v.std(ddof=1)) if len(v) > 1 else 0.0 for k, v in data.items()},
+        minimum={k: float(v.min()) for k, v in data.items()},
+        maximum={k: float(v.max()) for k, v in data.items()},
+        extra_mean=extra_mean,
+    )

@@ -1,0 +1,149 @@
+"""Reproduction-report generator.
+
+Builds a single markdown document summarizing a full evaluation run:
+per-figure series tables (read back from the archived CSVs under
+``results/``), the paper's qualitative claims, and automated PASS/FAIL
+verdicts for each claim — the machine-checkable core of EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Callable
+
+__all__ = ["Claim", "ClaimResult", "FIGURE_CLAIMS", "generate_report", "read_series_csv"]
+
+
+def read_series_csv(path: Path) -> dict[str, list[float]]:
+    """Read one archived figure CSV into ``{column: values}``."""
+    text = Path(path).read_text()
+    reader = csv.reader(io.StringIO(text))
+    header = next(reader)
+    cols: dict[str, list[float]] = {h: [] for h in header}
+    for row in reader:
+        if not row:
+            continue
+        for h, cell in zip(header, row):
+            cols[h].append(float(cell))
+    return cols
+
+
+@dataclass(frozen=True)
+class Claim:
+    """One of the paper's qualitative claims, as a predicate on the series."""
+
+    figure: str
+    text: str
+    check: Callable[[dict[str, list[float]]], bool]
+
+
+@dataclass(frozen=True)
+class ClaimResult:
+    """A claim's verdict on the archived data."""
+
+    claim: Claim
+    passed: bool
+    note: str = ""
+
+
+def _f2_below_f1(series: dict[str, list[float]]) -> bool:
+    return all(a <= b + 0.05 for a, b in zip(series["F2"], series["F1"]))
+
+
+def _f2_near_optimal(series: dict[str, list[float]], cap: float = 1.5) -> bool:
+    return max(series["F2"]) < cap
+
+
+#: The paper's per-figure qualitative claims, machine-checkable.
+FIGURE_CLAIMS: dict[str, list[Claim]] = {
+    "fig6": [
+        Claim("fig6", "F2 stays below F1 at every static power", _f2_below_f1),
+        Claim(
+            "fig6",
+            "F2's NEC declines (or holds) as static power grows",
+            lambda s: s["F2"][-1] <= s["F2"][0] + 0.05,
+        ),
+        Claim("fig6", "F2 remains near-optimal (NEC < 1.3)", _f2_near_optimal),
+    ],
+    "fig7": [
+        Claim("fig7", "F2 stays below I1 at every alpha", lambda s: all(
+            a <= b for a, b in zip(s["F2"], s["I1"])
+        )),
+        Claim(
+            "fig7",
+            "even-allocation penalty grows with alpha",
+            lambda s: s["I1"][-1] >= s["I1"][0] - 0.1,
+        ),
+    ],
+    "fig8": [
+        Claim("fig8", "F2 is worst at the smallest core count", lambda s: s["F2"][0] == max(s["F2"])),
+        Claim("fig8", "F2 converges to optimal with many cores", lambda s: s["F2"][-1] < 1.05),
+    ],
+    "fig9": [
+        Claim("fig9", "F2 stable across intensity ranges (NEC < 1.25)", lambda s: _f2_near_optimal(s, 1.25)),
+    ],
+    "fig10": [
+        Claim("fig10", "near-ideal when tasks barely exceed cores", lambda s: s["F2"][0] < 1.1),
+        Claim("fig10", "F2's margin over F1 widens with n", lambda s: (
+            (s["F1"][-1] - s["F2"][-1]) >= (s["F1"][0] - s["F2"][0]) - 1e-9
+        )),
+    ],
+    "fig11": [
+        Claim("fig11", "practical F2 stays below F1", _f2_below_f1),
+        Claim(
+            "fig11",
+            "F2's deadline-miss probability never exceeds I1's",
+            lambda s: all(a <= b + 1e-9 for a, b in zip(s["miss_F2"], s["miss_I1"])),
+        ),
+    ],
+}
+
+
+def _series_table(series: dict[str, list[float]]) -> str:
+    headers = list(series.keys())
+    out = ["| " + " | ".join(headers) + " |", "|" + "---|" * len(headers)]
+    n = len(next(iter(series.values())))
+    for i in range(n):
+        out.append(
+            "| " + " | ".join(f"{series[h][i]:.4f}" for h in headers) + " |"
+        )
+    return "\n".join(out)
+
+
+def generate_report(results_dir: str | Path, title: str = "Reproduction report") -> str:
+    """Generate the markdown report from archived CSVs.
+
+    Figures whose CSV is missing are listed as SKIPPED rather than failing,
+    so partial runs still produce a useful document.
+    """
+    results_dir = Path(results_dir)
+    lines = [f"# {title}", ""]
+    total = passed = 0
+    for figure, claims in FIGURE_CLAIMS.items():
+        csv_path = results_dir / f"{figure}.csv"
+        lines.append(f"## {figure}")
+        if not csv_path.exists():
+            lines.append("*SKIPPED — no archived data*")
+            lines.append("")
+            continue
+        series = read_series_csv(csv_path)
+        for claim in claims:
+            total += 1
+            try:
+                ok = claim.check(series)
+            except KeyError as exc:
+                ok = False
+                lines.append(f"- ❌ {claim.text} (missing column {exc})")
+                continue
+            passed += int(ok)
+            mark = "✅" if ok else "❌"
+            lines.append(f"- {mark} {claim.text}")
+        lines.append("")
+        lines.append(_series_table(series))
+        lines.append("")
+    lines.insert(2, f"**Claims passed: {passed}/{total}**")
+    lines.insert(3, "")
+    return "\n".join(lines)

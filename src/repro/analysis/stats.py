@@ -1,0 +1,193 @@
+"""Statistical rigor for the Monte-Carlo experiments.
+
+The paper reports bare means over 100 replications.  For a credible
+reproduction we add the machinery to say *how sure* we are:
+
+* :func:`bootstrap_ci` — percentile bootstrap confidence interval of any
+  statistic of a sample (seeded, deterministic).
+* :func:`paired_sign_test` — exact binomial sign test for paired
+  comparisons (e.g. "F2 beats F1 on the same instances"), the right test
+  when per-instance NECs share workload randomness.
+* :class:`RunningStats` — Welford single-pass mean/variance for streaming
+  aggregation of very large replication counts without storing samples.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from math import comb, sqrt
+from typing import Callable, Sequence
+
+import numpy as np
+
+__all__ = ["bootstrap_ci", "paired_sign_test", "RunningStats", "ConfidenceInterval"]
+
+
+@dataclass(frozen=True)
+class ConfidenceInterval:
+    """A two-sided confidence interval for a statistic."""
+
+    estimate: float
+    low: float
+    high: float
+    confidence: float
+
+    @property
+    def width(self) -> float:
+        """Interval width."""
+        return self.high - self.low
+
+    def __contains__(self, value: float) -> bool:
+        return self.low <= value <= self.high
+
+    def __str__(self) -> str:
+        return (
+            f"{self.estimate:.4f} [{self.low:.4f}, {self.high:.4f}] "
+            f"@{self.confidence:.0%}"
+        )
+
+
+def bootstrap_ci(
+    samples: Sequence[float],
+    statistic: Callable[[np.ndarray], float] = np.mean,
+    confidence: float = 0.95,
+    n_boot: int = 2000,
+    seed: int = 0,
+) -> ConfidenceInterval:
+    """Percentile-bootstrap CI of ``statistic`` over ``samples``.
+
+    Deterministic given ``seed``; vectorized resampling.
+    """
+    x = np.asarray(samples, dtype=np.float64)
+    if x.ndim != 1 or len(x) < 2:
+        raise ValueError("need a 1-D sample of size >= 2")
+    if not (0 < confidence < 1):
+        raise ValueError("confidence must be in (0, 1)")
+    if n_boot < 100:
+        raise ValueError("n_boot too small for a meaningful interval")
+    rng = np.random.default_rng(seed)
+    idx = rng.integers(0, len(x), size=(n_boot, len(x)))
+    boots = np.apply_along_axis(statistic, 1, x[idx])
+    alpha = (1 - confidence) / 2
+    low, high = np.quantile(boots, [alpha, 1 - alpha])
+    return ConfidenceInterval(
+        estimate=float(statistic(x)),
+        low=float(low),
+        high=float(high),
+        confidence=confidence,
+    )
+
+
+def paired_sign_test(a: Sequence[float], b: Sequence[float]) -> float:
+    """Exact two-sided sign test p-value for paired samples ``a`` vs ``b``.
+
+    Ties (within float noise) are dropped, per the standard procedure.
+    Small p ⇒ the two methods genuinely differ on shared instances.
+    """
+    a = np.asarray(a, dtype=np.float64)
+    b = np.asarray(b, dtype=np.float64)
+    if a.shape != b.shape or a.ndim != 1:
+        raise ValueError("paired samples must be equal-length 1-D arrays")
+    diff = a - b
+    scale = np.maximum(np.abs(a) + np.abs(b), 1.0)
+    nonzero = np.abs(diff) > 1e-12 * scale
+    n = int(nonzero.sum())
+    if n == 0:
+        return 1.0
+    wins = int((diff[nonzero] > 0).sum())
+    k = min(wins, n - wins)
+    # two-sided exact binomial tail at p = 1/2
+    tail = sum(comb(n, i) for i in range(k + 1)) / 2.0**n
+    return float(min(2.0 * tail, 1.0))
+
+
+class RunningStats:
+    """Welford's single-pass mean/variance accumulator."""
+
+    __slots__ = ("_n", "_mean", "_m2", "_min", "_max")
+
+    def __init__(self) -> None:
+        self._n = 0
+        self._mean = 0.0
+        self._m2 = 0.0
+        self._min = float("inf")
+        self._max = float("-inf")
+
+    def push(self, value: float) -> None:
+        """Accumulate one observation."""
+        self._n += 1
+        delta = value - self._mean
+        self._mean += delta / self._n
+        self._m2 += delta * (value - self._mean)
+        self._min = min(self._min, value)
+        self._max = max(self._max, value)
+
+    def extend(self, values) -> None:
+        """Accumulate many observations."""
+        for v in values:
+            self.push(float(v))
+
+    @property
+    def n(self) -> int:
+        """Number of observations."""
+        return self._n
+
+    @property
+    def mean(self) -> float:
+        """Sample mean."""
+        if self._n == 0:
+            raise ValueError("no observations")
+        return self._mean
+
+    @property
+    def variance(self) -> float:
+        """Unbiased sample variance."""
+        if self._n < 2:
+            return 0.0
+        return self._m2 / (self._n - 1)
+
+    @property
+    def std(self) -> float:
+        """Sample standard deviation."""
+        return sqrt(self.variance)
+
+    @property
+    def sem(self) -> float:
+        """Standard error of the mean."""
+        if self._n == 0:
+            raise ValueError("no observations")
+        return self.std / sqrt(self._n)
+
+    @property
+    def minimum(self) -> float:
+        """Smallest observation."""
+        if self._n == 0:
+            raise ValueError("no observations")
+        return self._min
+
+    @property
+    def maximum(self) -> float:
+        """Largest observation."""
+        if self._n == 0:
+            raise ValueError("no observations")
+        return self._max
+
+    def merge(self, other: "RunningStats") -> "RunningStats":
+        """Combine two accumulators (parallel aggregation)."""
+        out = RunningStats()
+        if self._n == 0:
+            out._n, out._mean, out._m2 = other._n, other._mean, other._m2
+            out._min, out._max = other._min, other._max
+            return out
+        if other._n == 0:
+            out._n, out._mean, out._m2 = self._n, self._mean, self._m2
+            out._min, out._max = self._min, self._max
+            return out
+        n = self._n + other._n
+        delta = other._mean - self._mean
+        out._n = n
+        out._mean = self._mean + delta * other._n / n
+        out._m2 = self._m2 + other._m2 + delta**2 * self._n * other._n / n
+        out._min = min(self._min, other._min)
+        out._max = max(self._max, other._max)
+        return out

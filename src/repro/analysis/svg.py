@@ -1,0 +1,346 @@
+"""Self-contained SVG renderers (no plotting dependency available offline).
+
+Two renderers cover everything the paper's evaluation section displays:
+
+* :func:`line_chart` — the NEC-vs-parameter figures (Figs. 6–11): multi-series
+  line chart with markers, axes, ticks and a legend.
+* :func:`gantt_svg` — schedule visualizations (Figs. 2, 4, 5): one lane per
+  core, segments colored by task and labeled with their frequency.
+
+The output is deliberately plain SVG 1.1 with inline styling so the files
+open anywhere.  These substitute for the paper's matplotlib-style figures —
+the plotted *series* are the deliverable; the renderer is cosmetic
+(documented substitution in DESIGN.md).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Mapping, Sequence
+from xml.sax.saxutils import escape
+
+from ..core.schedule import Schedule
+
+__all__ = ["line_chart", "gantt_svg", "heatmap", "PALETTE"]
+
+#: Color-blind-safe categorical palette (Okabe–Ito).
+PALETTE: tuple[str, ...] = (
+    "#0072B2",
+    "#D55E00",
+    "#009E73",
+    "#CC79A7",
+    "#E69F00",
+    "#56B4E9",
+    "#F0E442",
+    "#000000",
+)
+
+_MARKERS = ("circle", "square", "diamond", "triangle", "cross")
+
+
+def _nice_ticks(lo: float, hi: float, target: int = 6) -> list[float]:
+    """Round tick positions covering [lo, hi]."""
+    if hi <= lo:
+        hi = lo + 1.0
+    raw = (hi - lo) / max(target, 2)
+    mag = 10 ** math.floor(math.log10(raw))
+    for mult in (1, 2, 2.5, 5, 10):
+        step = mult * mag
+        if raw <= step:
+            break
+    first = math.ceil(lo / step) * step
+    ticks = []
+    t = first
+    while t <= hi + 1e-12 * step:
+        ticks.append(round(t, 12))
+        t += step
+    return ticks
+
+
+def _marker(kind: str, x: float, y: float, color: str, size: float = 3.5) -> str:
+    if kind == "circle":
+        return f'<circle cx="{x:.2f}" cy="{y:.2f}" r="{size}" fill="{color}"/>'
+    if kind == "square":
+        return (
+            f'<rect x="{x - size:.2f}" y="{y - size:.2f}" width="{2 * size}" '
+            f'height="{2 * size}" fill="{color}"/>'
+        )
+    if kind == "diamond":
+        pts = f"{x},{y - size * 1.3} {x + size * 1.3},{y} {x},{y + size * 1.3} {x - size * 1.3},{y}"
+        return f'<polygon points="{pts}" fill="{color}"/>'
+    if kind == "triangle":
+        pts = f"{x},{y - size * 1.3} {x + size * 1.2},{y + size} {x - size * 1.2},{y + size}"
+        return f'<polygon points="{pts}" fill="{color}"/>'
+    # cross
+    return (
+        f'<path d="M {x - size} {y - size} L {x + size} {y + size} '
+        f'M {x - size} {y + size} L {x + size} {y - size}" '
+        f'stroke="{color}" stroke-width="1.8"/>'
+    )
+
+
+def line_chart(
+    x_values: Sequence[float],
+    series: Mapping[str, Sequence[float]],
+    title: str = "",
+    x_label: str = "",
+    y_label: str = "",
+    width: int = 640,
+    height: int = 420,
+) -> str:
+    """Render a multi-series line chart as an SVG string."""
+    if not x_values:
+        raise ValueError("x_values is empty")
+    for name, ys in series.items():
+        if len(ys) != len(x_values):
+            raise ValueError(f"series {name!r} length mismatch")
+
+    ml, mr, mt, mb = 64, 150, 40, 52
+    pw, ph = width - ml - mr, height - mt - mb
+    xs = [float(x) for x in x_values]
+    all_y = [float(v) for ys in series.values() for v in ys if math.isfinite(v)]
+    if not all_y:
+        raise ValueError("no finite y values")
+    x_lo, x_hi = min(xs), max(xs)
+    y_lo, y_hi = min(all_y), max(all_y)
+    if x_hi == x_lo:
+        x_hi = x_lo + 1.0
+    pad = 0.06 * (y_hi - y_lo) or max(abs(y_hi), 1.0) * 0.06
+    y_lo, y_hi = y_lo - pad, y_hi + pad
+
+    def sx(x: float) -> float:
+        return ml + (x - x_lo) / (x_hi - x_lo) * pw
+
+    def sy(y: float) -> float:
+        return mt + ph - (y - y_lo) / (y_hi - y_lo) * ph
+
+    parts = [
+        f'<svg xmlns="http://www.w3.org/2000/svg" width="{width}" height="{height}" '
+        f'viewBox="0 0 {width} {height}" font-family="sans-serif" font-size="12">',
+        f'<rect width="{width}" height="{height}" fill="white"/>',
+    ]
+    if title:
+        parts.append(
+            f'<text x="{width / 2}" y="22" text-anchor="middle" font-size="15" '
+            f'font-weight="bold">{escape(title)}</text>'
+        )
+    # axes + grid
+    parts.append(
+        f'<rect x="{ml}" y="{mt}" width="{pw}" height="{ph}" fill="none" stroke="#333"/>'
+    )
+    for t in _nice_ticks(x_lo, x_hi):
+        if not (x_lo - 1e-12 <= t <= x_hi + 1e-12):
+            continue
+        X = sx(t)
+        parts.append(
+            f'<line x1="{X:.2f}" y1="{mt}" x2="{X:.2f}" y2="{mt + ph}" '
+            f'stroke="#ddd" stroke-width="0.7"/>'
+        )
+        parts.append(
+            f'<text x="{X:.2f}" y="{mt + ph + 18}" text-anchor="middle">{t:g}</text>'
+        )
+    for t in _nice_ticks(y_lo, y_hi):
+        if not (y_lo - 1e-12 <= t <= y_hi + 1e-12):
+            continue
+        Y = sy(t)
+        parts.append(
+            f'<line x1="{ml}" y1="{Y:.2f}" x2="{ml + pw}" y2="{Y:.2f}" '
+            f'stroke="#ddd" stroke-width="0.7"/>'
+        )
+        parts.append(
+            f'<text x="{ml - 8}" y="{Y + 4:.2f}" text-anchor="end">{t:g}</text>'
+        )
+    if x_label:
+        parts.append(
+            f'<text x="{ml + pw / 2}" y="{height - 12}" text-anchor="middle">'
+            f"{escape(x_label)}</text>"
+        )
+    if y_label:
+        parts.append(
+            f'<text x="18" y="{mt + ph / 2}" text-anchor="middle" '
+            f'transform="rotate(-90 18 {mt + ph / 2})">{escape(y_label)}</text>'
+        )
+
+    # series
+    for idx, (name, ys) in enumerate(series.items()):
+        color = PALETTE[idx % len(PALETTE)]
+        marker = _MARKERS[idx % len(_MARKERS)]
+        pts = [
+            (sx(x), sy(float(y)))
+            for x, y in zip(xs, ys)
+            if math.isfinite(float(y))
+        ]
+        if len(pts) >= 2:
+            d = "M " + " L ".join(f"{x:.2f} {y:.2f}" for x, y in pts)
+            parts.append(
+                f'<path d="{d}" fill="none" stroke="{color}" stroke-width="1.8"/>'
+            )
+        for x, y in pts:
+            parts.append(_marker(marker, x, y, color))
+        # legend entry
+        ly = mt + 14 + idx * 20
+        lx = ml + pw + 14
+        parts.append(
+            f'<line x1="{lx}" y1="{ly}" x2="{lx + 26}" y2="{ly}" '
+            f'stroke="{color}" stroke-width="1.8"/>'
+        )
+        parts.append(_marker(marker, lx + 13, ly, color))
+        parts.append(f'<text x="{lx + 32}" y="{ly + 4}">{escape(name)}</text>')
+
+    parts.append("</svg>")
+    return "\n".join(parts)
+
+
+def _heat_color(v: float) -> str:
+    """Map v ∈ [0, 1] onto a white→blue sequential ramp."""
+    v = min(max(v, 0.0), 1.0)
+    # interpolate white (255,255,255) -> #0072B2 (0,114,178)
+    r = round(255 + (0 - 255) * v)
+    g = round(255 + (114 - 255) * v)
+    b = round(255 + (178 - 255) * v)
+    return f"rgb({r},{g},{b})"
+
+
+def heatmap(
+    values,
+    row_labels: Sequence,
+    col_labels: Sequence,
+    title: str = "",
+    x_label: str = "",
+    y_label: str = "",
+    cell: int = 44,
+    precision: int = 3,
+) -> str:
+    """Render a 2-D grid (e.g. Table II) as an annotated SVG heatmap."""
+    rows = [list(map(float, r)) for r in values]
+    n_rows = len(rows)
+    if n_rows == 0 or any(len(r) != len(col_labels) for r in rows):
+        raise ValueError("values must be a nonempty grid matching col_labels")
+    if len(row_labels) != n_rows:
+        raise ValueError("row_labels length mismatch")
+    n_cols = len(col_labels)
+
+    flat = [v for r in rows for v in r if math.isfinite(v)]
+    if not flat:
+        raise ValueError("no finite values")
+    lo, hi = min(flat), max(flat)
+    span = (hi - lo) or 1.0
+
+    ml, mt = 86, 64
+    width = ml + n_cols * cell + 20
+    height = mt + n_rows * cell + 40
+    parts = [
+        f'<svg xmlns="http://www.w3.org/2000/svg" width="{width}" height="{height}" '
+        f'viewBox="0 0 {width} {height}" font-family="sans-serif" font-size="11">',
+        f'<rect width="{width}" height="{height}" fill="white"/>',
+    ]
+    if title:
+        parts.append(
+            f'<text x="{width / 2}" y="22" text-anchor="middle" font-size="14" '
+            f'font-weight="bold">{escape(title)}</text>'
+        )
+    if x_label:
+        parts.append(
+            f'<text x="{ml + n_cols * cell / 2}" y="{mt - 26}" '
+            f'text-anchor="middle">{escape(x_label)}</text>'
+        )
+    if y_label:
+        y_mid = mt + n_rows * cell / 2
+        parts.append(
+            f'<text x="16" y="{y_mid}" text-anchor="middle" '
+            f'transform="rotate(-90 16 {y_mid})">{escape(y_label)}</text>'
+        )
+    for j, label in enumerate(col_labels):
+        parts.append(
+            f'<text x="{ml + j * cell + cell / 2}" y="{mt - 8}" '
+            f'text-anchor="middle">{escape(str(label))}</text>'
+        )
+    for i, label in enumerate(row_labels):
+        parts.append(
+            f'<text x="{ml - 8}" y="{mt + i * cell + cell / 2 + 4}" '
+            f'text-anchor="end">{escape(str(label))}</text>'
+        )
+    for i, row in enumerate(rows):
+        for j, v in enumerate(row):
+            x, y = ml + j * cell, mt + i * cell
+            frac = (v - lo) / span if math.isfinite(v) else 0.0
+            parts.append(
+                f'<rect x="{x}" y="{y}" width="{cell}" height="{cell}" '
+                f'fill="{_heat_color(frac)}" stroke="#999" stroke-width="0.5"/>'
+            )
+            text_color = "white" if frac > 0.6 else "#222"
+            label = f"{v:.{precision}f}" if math.isfinite(v) else "–"
+            parts.append(
+                f'<text x="{x + cell / 2}" y="{y + cell / 2 + 4}" '
+                f'text-anchor="middle" fill="{text_color}">{label}</text>'
+            )
+    parts.append("</svg>")
+    return "\n".join(parts)
+
+
+def gantt_svg(
+    schedule: Schedule,
+    title: str = "",
+    width: int = 760,
+    lane_height: int = 42,
+) -> str:
+    """Render a schedule Gantt chart as an SVG string."""
+    lo, hi = schedule.tasks.horizon
+    span = hi - lo
+    if span <= 0:
+        raise ValueError("degenerate horizon")
+    ml, mr, mt, mb = 48, 18, 44, 40
+    pw = width - ml - mr
+    ph = lane_height * schedule.n_cores
+    height = mt + ph + mb
+
+    def sx(t: float) -> float:
+        return ml + (t - lo) / span * pw
+
+    parts = [
+        f'<svg xmlns="http://www.w3.org/2000/svg" width="{width}" height="{height}" '
+        f'viewBox="0 0 {width} {height}" font-family="sans-serif" font-size="11">',
+        f'<rect width="{width}" height="{height}" fill="white"/>',
+    ]
+    if title:
+        parts.append(
+            f'<text x="{width / 2}" y="20" text-anchor="middle" font-size="14" '
+            f'font-weight="bold">{escape(title)}</text>'
+        )
+    for core in range(schedule.n_cores):
+        y = mt + core * lane_height
+        parts.append(
+            f'<rect x="{ml}" y="{y}" width="{pw}" height="{lane_height - 6}" '
+            f'fill="#f5f5f5" stroke="#999" stroke-width="0.6"/>'
+        )
+        parts.append(
+            f'<text x="{ml - 6}" y="{y + lane_height / 2}" text-anchor="end">'
+            f"M{core + 1}</text>"
+        )
+    for seg in schedule:
+        color = PALETTE[seg.task_id % len(PALETTE)]
+        y = mt + seg.core * lane_height
+        x0, x1 = sx(seg.start), sx(seg.end)
+        parts.append(
+            f'<rect x="{x0:.2f}" y="{y + 2}" width="{max(x1 - x0, 0.8):.2f}" '
+            f'height="{lane_height - 10}" fill="{color}" fill-opacity="0.85" '
+            f'stroke="#333" stroke-width="0.5"/>'
+        )
+        if x1 - x0 > 34:
+            parts.append(
+                f'<text x="{(x0 + x1) / 2:.2f}" y="{y + lane_height / 2}" '
+                f'text-anchor="middle" fill="white">τ{seg.task_id + 1}@'
+                f"{seg.frequency:.2g}</text>"
+            )
+    for t in _nice_ticks(lo, hi):
+        if lo - 1e-12 <= t <= hi + 1e-12:
+            X = sx(t)
+            parts.append(
+                f'<line x1="{X:.2f}" y1="{mt + ph}" x2="{X:.2f}" y2="{mt + ph + 5}" '
+                f'stroke="#333"/>'
+            )
+            parts.append(
+                f'<text x="{X:.2f}" y="{mt + ph + 18}" text-anchor="middle">{t:g}</text>'
+            )
+    parts.append("</svg>")
+    return "\n".join(parts)

@@ -1,0 +1,78 @@
+"""Plain-text table rendering for experiment reports.
+
+The benchmark harness prints the same rows the paper's tables/figures show;
+this module owns the formatting so every experiment reports consistently
+(fixed-width columns, aligned decimals, optional CSV twin output).
+"""
+
+from __future__ import annotations
+
+import io
+from typing import Iterable, Sequence
+
+__all__ = ["format_table", "format_csv", "format_series_block"]
+
+
+def _cell(value, precision: int) -> str:
+    if value is None:
+        return ""
+    if isinstance(value, float):
+        return f"{value:.{precision}f}"
+    return str(value)
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence],
+    precision: int = 4,
+    title: str | None = None,
+) -> str:
+    """Render a fixed-width text table.
+
+    Floats are formatted to ``precision`` decimals; column widths adapt to
+    content.
+    """
+    str_rows = [[_cell(v, precision) for v in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        if len(row) != len(headers):
+            raise ValueError("row length does not match headers")
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    out = io.StringIO()
+    if title:
+        out.write(title + "\n")
+    sep = "-+-".join("-" * w for w in widths)
+    out.write(" | ".join(h.ljust(w) for h, w in zip(headers, widths)) + "\n")
+    out.write(sep + "\n")
+    for row in str_rows:
+        out.write(" | ".join(c.rjust(w) for c, w in zip(row, widths)) + "\n")
+    return out.getvalue()
+
+
+def format_csv(headers: Sequence[str], rows: Iterable[Sequence]) -> str:
+    """Render the same data as CSV (for archival under ``results/``)."""
+    lines = [",".join(headers)]
+    for row in rows:
+        lines.append(
+            ",".join(
+                f"{v:.10g}" if isinstance(v, float) else str(v) for v in row
+            )
+        )
+    return "\n".join(lines) + "\n"
+
+
+def format_series_block(
+    x_label: str,
+    x_values: Sequence,
+    series: dict[str, Sequence[float]],
+    precision: int = 4,
+    title: str | None = None,
+) -> str:
+    """Figure-style output: one row per x value, one column per series."""
+    headers = [x_label, *series.keys()]
+    rows = []
+    for i, x in enumerate(x_values):
+        rows.append([x, *[vals[i] for vals in series.values()]])
+    return format_table(headers, rows, precision=precision, title=title)

@@ -1,0 +1,15 @@
+"""Baseline schedulers: YDS (uniprocessor optimal), global EDF, naive rules."""
+
+from .edf import EdfResult, global_edf
+from .naive import max_speed_baseline, stretch_baseline
+from .yds import CriticalInterval, YdsResult, yds_schedule
+
+__all__ = [
+    "EdfResult",
+    "global_edf",
+    "max_speed_baseline",
+    "stretch_baseline",
+    "CriticalInterval",
+    "YdsResult",
+    "yds_schedule",
+]

@@ -1,0 +1,275 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+
+``generate``   draw a random §VI workload and write it to a task file
+``schedule``   schedule a task file (S^F1/S^F2/online), print energy + Gantt
+``optimal``    solve the exact convex program for a task file
+``inspect``    validate and summarize a saved schedule JSON
+``experiment`` run one of the paper's figure/table experiments
+
+All task files are the JSON/CSV formats of :mod:`repro.io`; schedules are
+the self-contained JSON of :mod:`repro.io.schedio`.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+import numpy as np
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argument parser (exposed for testing/docs)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Energy-aware scheduling of aperiodic tasks on DVFS multi-core "
+            "processors (Li & Wu, ICPP 2014 reproduction)."
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    # generate
+    g = sub.add_parser("generate", help="draw a random paper-style workload")
+    g.add_argument("output", type=Path, help="output .json or .csv task file")
+    g.add_argument("-n", "--n-tasks", type=int, default=20)
+    g.add_argument("--seed", type=int, default=0)
+    g.add_argument("--intensity-low", type=float, default=0.1)
+    g.add_argument("--intensity-high", type=float, default=1.0)
+    g.add_argument(
+        "--xscale", action="store_true", help="use the §VI-C XScale-scaled generator"
+    )
+
+    # schedule
+    s = sub.add_parser("schedule", help="schedule a task file")
+    s.add_argument("tasks", type=Path, help="input .json or .csv task file")
+    s.add_argument("-m", "--cores", type=int, default=4)
+    s.add_argument("--alpha", type=float, default=3.0)
+    s.add_argument("--static", type=float, default=0.0, help="static power p0")
+    s.add_argument(
+        "--method",
+        choices=["der", "even", "online"],
+        default="der",
+        help="der = S^F2 (recommended), even = S^F1, online = re-planning",
+    )
+    s.add_argument("--gantt", action="store_true", help="print an ASCII Gantt chart")
+    s.add_argument("-o", "--output", type=Path, help="write schedule JSON here")
+    s.add_argument(
+        "--svg", type=Path, help="write an SVG Gantt chart to this path"
+    )
+
+    # optimal
+    o = sub.add_parser("optimal", help="solve the exact convex program")
+    o.add_argument("tasks", type=Path)
+    o.add_argument("-m", "--cores", type=int, default=4)
+    o.add_argument("--alpha", type=float, default=3.0)
+    o.add_argument("--static", type=float, default=0.0)
+    o.add_argument(
+        "--solver",
+        choices=["interior-point", "projected-gradient", "SLSQP"],
+        default="interior-point",
+    )
+
+    # inspect
+    i = sub.add_parser("inspect", help="validate and summarize a schedule JSON")
+    i.add_argument("schedule", type=Path)
+    i.add_argument("--gantt", action="store_true")
+
+    # experiment
+    e = sub.add_parser("experiment", help="run a paper experiment")
+    e.add_argument(
+        "name",
+        choices=[
+            "fig6", "fig7", "fig8", "fig9", "fig10", "fig11",
+            "table2", "core-selection",
+            "ablation-der", "ablation-switching", "ablation-two-level",
+            "ablation-online",
+        ],
+    )
+    e.add_argument("--reps", type=int, default=20)
+    e.add_argument("--seed", type=int, default=0)
+    e.add_argument("--workers", type=int, default=1)
+    e.add_argument("--csv", type=Path, help="also write the data as CSV here")
+
+    # report
+    r = sub.add_parser(
+        "report", help="generate the reproduction report from archived CSVs"
+    )
+    r.add_argument(
+        "results_dir", type=Path, nargs="?", default=Path("results"),
+        help="directory holding figN.csv archives (default: results/)",
+    )
+    r.add_argument("-o", "--output", type=Path, help="write markdown here")
+    return parser
+
+
+def _power(args) -> "PolynomialPower":
+    from .power import PolynomialPower
+
+    return PolynomialPower(alpha=args.alpha, static=args.static)
+
+
+def _cmd_generate(args) -> int:
+    from .io import save_taskset
+    from .workloads.generator import (
+        PaperWorkloadConfig,
+        paper_workload,
+        xscale_workload,
+    )
+
+    rng = np.random.default_rng(args.seed)
+    if args.xscale:
+        tasks = xscale_workload(
+            rng,
+            n_tasks=args.n_tasks,
+            intensity_low=args.intensity_low,
+            intensity_high=args.intensity_high,
+        )
+    else:
+        tasks = paper_workload(
+            rng,
+            PaperWorkloadConfig(
+                n_tasks=args.n_tasks,
+                intensity_low=args.intensity_low,
+                intensity_high=args.intensity_high,
+            ),
+        )
+    save_taskset(tasks, args.output)
+    print(f"wrote {len(tasks)} tasks to {args.output}")
+    return 0
+
+
+def _cmd_schedule(args) -> int:
+    from .analysis import render_gantt
+    from .core import OnlineSubintervalScheduler, SubintervalScheduler
+    from .io import load_taskset, save_schedule
+    from .sim import validate_schedule
+
+    tasks = load_taskset(args.tasks)
+    power = _power(args)
+    if args.method == "online":
+        res = OnlineSubintervalScheduler(tasks, args.cores, power).run()
+        schedule, energy = res.schedule, res.energy
+        print(f"online schedule: {res.replans} re-plans")
+    else:
+        result = SubintervalScheduler(tasks, args.cores, power).final(args.method)
+        schedule, energy = result.schedule, result.energy
+        print(f"schedule kind: S^{result.kind}")
+    print(f"tasks: {len(tasks)}  cores: {args.cores}  power: p(f)=f^{args.alpha:g}+{args.static:g}")
+    print(f"energy: {energy:.6g}")
+    issues = validate_schedule(schedule)
+    print(f"validation: {'OK' if not issues else f'{len(issues)} violations!'}")
+    if args.gantt:
+        print(render_gantt(schedule))
+    if args.output:
+        save_schedule(schedule, args.output)
+        print(f"schedule written to {args.output}")
+    if args.svg:
+        from .analysis import gantt_svg
+
+        args.svg.write_text(gantt_svg(schedule, title=f"{args.method} schedule"))
+        print(f"SVG written to {args.svg}")
+    return 0 if not issues else 1
+
+
+def _cmd_optimal(args) -> int:
+    from .io import load_taskset
+    from .optimal import solve_optimal
+
+    tasks = load_taskset(args.tasks)
+    sol = solve_optimal(tasks, args.cores, _power(args), solver=args.solver)
+    print(f"solver: {sol.solver}  iterations: {sol.iterations}")
+    print(f"optimal energy: {sol.energy:.8g}")
+    with np.printoptions(precision=4, suppress=True):
+        print(f"per-task available times: {sol.available_times}")
+        print(f"per-task frequencies:     {sol.frequencies}")
+    return 0
+
+
+def _cmd_inspect(args) -> int:
+    from .analysis import render_gantt
+    from .io import load_schedule
+    from .sim import execute_schedule, validate_schedule
+
+    schedule = load_schedule(args.schedule)
+    print(f"{len(schedule)} segments, {len(schedule.tasks)} tasks, {schedule.n_cores} cores")
+    print(f"planned energy: {schedule.total_energy():.6g}")
+    issues = validate_schedule(schedule)
+    if issues:
+        print(f"INVALID — {len(issues)} violations:")
+        for v in issues[:10]:
+            print(f"  {v}")
+        return 1
+    report = execute_schedule(schedule)
+    print(f"replayed energy: {report.total_energy:.6g}")
+    print(f"deadline misses: {report.deadline_misses or 'none'}")
+    print(f"preemptions: {schedule.preemption_count()}  migrations: {schedule.migration_count()}")
+    if args.gantt:
+        print(render_gantt(schedule))
+    return 0
+
+
+def _cmd_experiment(args) -> int:
+    from . import experiments as exps
+
+    modules = {
+        "fig6": exps.fig6, "fig7": exps.fig7, "fig8": exps.fig8,
+        "fig9": exps.fig9, "fig10": exps.fig10, "fig11": exps.fig11,
+        "table2": exps.table2,
+        "core-selection": exps.core_selection_exp,
+        "ablation-der": exps.ablation_der,
+        "ablation-switching": exps.ablation_switching,
+        "ablation-two-level": exps.ablation_two_level,
+        "ablation-online": exps.ablation_online,
+    }
+    mod = modules[args.name]
+    kwargs = {"reps": args.reps, "seed": args.seed}
+    if args.name in {"fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "table2"}:
+        kwargs["workers"] = args.workers
+    result = mod.run(**kwargs)
+    print(result.format())
+    if args.csv and hasattr(result, "to_csv"):
+        args.csv.write_text(result.to_csv())
+        print(f"CSV written to {args.csv}")
+    return 0
+
+
+def _cmd_report(args) -> int:
+    from .analysis.report import generate_report
+
+    if not args.results_dir.is_dir():
+        print(f"error: {args.results_dir} is not a directory")
+        return 1
+    report = generate_report(args.results_dir)
+    if args.output:
+        args.output.write_text(report)
+        print(f"report written to {args.output}")
+    else:
+        print(report)
+    return 0 if "❌" not in report else 1
+
+
+_COMMANDS = {
+    "generate": _cmd_generate,
+    "schedule": _cmd_schedule,
+    "optimal": _cmd_optimal,
+    "inspect": _cmd_inspect,
+    "experiment": _cmd_experiment,
+    "report": _cmd_report,
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

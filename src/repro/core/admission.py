@@ -1,0 +1,145 @@
+"""Admission control for aperiodic tasks under a frequency cap.
+
+The paper's model allows unbounded frequencies, so *any* task set is
+schedulable and admission is trivial.  Real platforms have an ``f_max``
+(§VI-C), which turns admission into a real decision: a new task may be
+accepted only if *some* collision-free schedule completes every committed
+task within its window at frequencies ≤ ``f_max``.
+
+That condition is exactly a flow-feasibility question on the subinterval
+network: running everything at ``f_max`` minimizes each task's required
+core-time ``C_i / f_max``, and a schedule with frequencies ≤ ``f_max``
+exists **iff** those minimal demands are realizable
+(:func:`repro.optimal.flow.realize_demands`).  So the admission test is
+exact, not a heuristic — and on acceptance the controller quotes the
+marginal energy of the updated S^F2 plan.
+
+This is an extension module (the "easy to implement in practical systems"
+direction of §VI-D), built entirely from the paper's substrate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..optimal.flow import realize_demands
+from ..power.models import PolynomialPower
+from .scheduler import SchedulingResult, SubintervalScheduler
+from .task import Task, TaskSet
+
+__all__ = ["AdmissionDecision", "AdmissionController"]
+
+
+@dataclass(frozen=True)
+class AdmissionDecision:
+    """Outcome of one admission test."""
+
+    accepted: bool
+    reason: str
+    marginal_energy: float | None = None  # energy delta of the S^F2 plan
+    schedule: SchedulingResult | None = None  # updated plan when accepted
+
+    def __repr__(self) -> str:
+        verdict = "ACCEPT" if self.accepted else "REJECT"
+        extra = (
+            f", ΔE={self.marginal_energy:.4g}"
+            if self.marginal_energy is not None
+            else ""
+        )
+        return f"AdmissionDecision({verdict}: {self.reason}{extra})"
+
+
+class AdmissionController:
+    """Keeps a committed task set schedulable under ``f_max``.
+
+    Parameters
+    ----------
+    m:
+        Number of cores.
+    power:
+        Continuous power model used for energy quotes.
+    f_max:
+        Hard frequency cap of the platform.  ``None`` disables the cap
+        (everything is admissible, per the paper's ideal model).
+    """
+
+    def __init__(
+        self,
+        m: int,
+        power: PolynomialPower,
+        f_max: float | None = None,
+    ):
+        if m < 1:
+            raise ValueError("m must be >= 1")
+        if f_max is not None and f_max <= 0:
+            raise ValueError("f_max must be positive")
+        self.m = int(m)
+        self.power = power
+        self.f_max = f_max
+        self._committed: list[Task] = []
+        self._current_energy = 0.0
+
+    # -- inspection ------------------------------------------------------------------
+
+    @property
+    def committed(self) -> TaskSet | None:
+        """The currently-admitted task set (None when empty)."""
+        return TaskSet(self._committed) if self._committed else None
+
+    @property
+    def current_energy(self) -> float:
+        """Energy of the current S^F2 plan over all committed tasks."""
+        return self._current_energy
+
+    def is_schedulable(self, tasks: TaskSet) -> bool:
+        """Exact schedulability test under the frequency cap."""
+        if self.f_max is None:
+            return True
+        min_times = tasks.works / self.f_max
+        if np.any(min_times > tasks.windows * (1 + 1e-12)):
+            return False  # some task can't finish even running alone flat-out
+        return realize_demands(tasks, self.m, min_times).feasible
+
+    # -- admission --------------------------------------------------------------------
+
+    def try_admit(self, task: Task) -> AdmissionDecision:
+        """Test ``task``; commit it and return the updated plan if it fits."""
+        candidate = TaskSet([*self._committed, task])
+
+        if self.f_max is not None:
+            if task.work / self.f_max > task.window * (1 + 1e-12):
+                return AdmissionDecision(
+                    accepted=False,
+                    reason=(
+                        f"task needs frequency {task.intensity:.4g} > "
+                        f"f_max={self.f_max:g} even in isolation"
+                    ),
+                )
+            if not self.is_schedulable(candidate):
+                return AdmissionDecision(
+                    accepted=False,
+                    reason="no collision-free schedule at f_max fits all "
+                    "committed tasks plus this one",
+                )
+
+        plan = SubintervalScheduler(candidate, self.m, self.power).final("der")
+        marginal = plan.energy - self._current_energy
+        self._committed.append(task)
+        self._current_energy = plan.energy
+        return AdmissionDecision(
+            accepted=True,
+            reason="schedulable",
+            marginal_energy=marginal,
+            schedule=plan,
+        )
+
+    def admit_all(self, tasks) -> list[AdmissionDecision]:
+        """Greedily test a stream of tasks in order."""
+        return [self.try_admit(t) for t in tasks]
+
+    def reset(self) -> None:
+        """Drop all committed tasks."""
+        self._committed.clear()
+        self._current_energy = 0.0

@@ -1,0 +1,78 @@
+"""Core-count selection (paper §VI-D, "Additional Remarks").
+
+The paper notes the scheduler need not use every core on the package: before
+running the task set, simulate the schedule on 1, 2, …, m_max cores and keep
+the core count with the lowest predicted energy.  With static power in the
+model, fewer-but-busier cores frequently win when load is light.
+
+:func:`select_core_count` performs exactly that sweep with either allocation
+method and returns the full per-count energy profile for reporting.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..power.models import PolynomialPower
+from .allocation import AllocationMethod
+from .scheduler import SchedulingResult, SubintervalScheduler
+from .task import TaskSet
+
+__all__ = ["CoreSelection", "select_core_count"]
+
+
+@dataclass(frozen=True)
+class CoreSelection:
+    """Result of the core-count sweep.
+
+    Attributes
+    ----------
+    best_m:
+        The energy-minimizing core count.
+    best:
+        The winning :class:`~repro.core.scheduler.SchedulingResult`.
+    energies:
+        Energy per candidate count (indexed as ``counts``).
+    counts:
+        The candidate core counts that were evaluated.
+    """
+
+    best_m: int
+    best: SchedulingResult
+    energies: np.ndarray
+    counts: np.ndarray
+
+    def profile(self) -> list[tuple[int, float]]:
+        """``(core count, energy)`` pairs, in evaluation order."""
+        return [(int(m), float(e)) for m, e in zip(self.counts, self.energies)]
+
+
+def select_core_count(
+    tasks: TaskSet,
+    m_max: int,
+    power: PolynomialPower,
+    method: AllocationMethod = "der",
+    m_min: int = 1,
+) -> CoreSelection:
+    """Sweep core counts ``m_min..m_max`` and keep the cheapest schedule.
+
+    Ties break toward fewer cores (cheaper to keep powered in practice).
+    """
+    if m_min < 1 or m_max < m_min:
+        raise ValueError("need 1 <= m_min <= m_max")
+    counts = np.arange(m_min, m_max + 1)
+    energies = np.empty(len(counts))
+    results: list[SchedulingResult] = []
+    for idx, m in enumerate(counts):
+        res = SubintervalScheduler(tasks, int(m), power).final(method)
+        energies[idx] = res.energy
+        results.append(res)
+    best_idx = int(np.argmin(energies))
+    return CoreSelection(
+        best_m=int(counts[best_idx]),
+        best=results[best_idx],
+        energies=energies,
+        counts=counts,
+    )

@@ -1,0 +1,117 @@
+"""The ideal unlimited-core case ``S^O`` (paper §V-A).
+
+With as many cores as tasks there are no collisions, so each task is solved
+independently: run at the single frequency minimizing
+``E = C(γf^{α−1} + p₀/f)`` subject to finishing inside the window,
+``f ≥ C/(D−R)``.  The KKT solution is the closed form
+
+    ``f_i^O = max{ f_crit, C_i / (D_i − R_i) }``
+
+with ``f_crit = (p₀/(γ(α−1)))^{1/α}`` the critical frequency.  The task then
+executes over ``U_i^O = [R_i, R_i + C_i/f_i^O]`` — starting at release,
+stopping possibly before the deadline when static power makes stretching
+wasteful (the paper's Fig. 3 effect).
+
+``S^O`` plays two roles downstream: its energy ``E^O`` is the "NEC of Idl"
+reference series in every figure, and its per-subinterval execution times
+define the Desired Execution Requirements that drive the DER-based
+allocator (Algorithm 2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..power.models import PolynomialPower
+from .intervals import Timeline
+from .task import TaskSet
+
+__all__ = ["IdealSolution", "solve_ideal"]
+
+
+@dataclass(frozen=True)
+class IdealSolution:
+    """Closed-form per-task optimum of the unlimited-core relaxation.
+
+    Attributes
+    ----------
+    tasks:
+        The originating task set.
+    power:
+        The (continuous) power model used.
+    frequencies:
+        ``f_i^O`` per task.
+    durations:
+        Execution times ``C_i / f_i^O``.
+    energies:
+        Per-task optimal energies ``E_i^O``.
+    """
+
+    tasks: TaskSet
+    power: PolynomialPower
+    frequencies: np.ndarray
+    durations: np.ndarray
+    energies: np.ndarray
+
+    @property
+    def total_energy(self) -> float:
+        """``E^O = Σ_i E_i^O`` — the ideal-case lower reference."""
+        return float(self.energies.sum())
+
+    @property
+    def starts(self) -> np.ndarray:
+        """Execution window starts (= releases)."""
+        return self.tasks.releases
+
+    @property
+    def ends(self) -> np.ndarray:
+        """Execution window ends ``R_i + C_i/f_i^O`` (≤ deadlines)."""
+        return self.tasks.releases + self.durations
+
+    def window(self, task_id: int) -> tuple[float, float]:
+        """``U_i^O`` for one task."""
+        return (float(self.starts[task_id]), float(self.ends[task_id]))
+
+    def overlap_with(self, start: float, end: float) -> np.ndarray:
+        """``|U_i^O ∩ [start, end]|`` for every task, vectorized.
+
+        This is the execution time the ideal schedule spends inside the given
+        subinterval — the quantity multiplied by ``f_i^O`` to obtain the DER.
+        """
+        lo = np.maximum(self.starts, start)
+        hi = np.minimum(self.ends, end)
+        return np.maximum(hi - lo, 0.0)
+
+    def subinterval_times(self, timeline: Timeline) -> np.ndarray:
+        """Matrix ``o[i, j] = |U_i^O ∩ [t_j, t_{j+1}]|`` over a timeline."""
+        starts = timeline.boundaries[:-1]
+        ends = timeline.boundaries[1:]
+        lo = np.maximum(self.starts[:, None], starts[None, :])
+        hi = np.minimum(self.ends[:, None], ends[None, :])
+        return np.maximum(hi - lo, 0.0)
+
+
+def solve_ideal(tasks: TaskSet, power: PolynomialPower) -> IdealSolution:
+    """Solve the unlimited-core relaxation in closed form.
+
+    Implements eq. (19)/(20) of the paper for every task at once.
+    """
+    f_crit = power.critical_frequency()
+    freqs = np.maximum(f_crit, tasks.intensities)
+    # clamp against float spill: C/(C/(D-R)) can exceed D-R by ulps, which
+    # would leak ideal execution past the deadline into uncovered subintervals
+    durations = np.minimum(tasks.works / freqs, tasks.windows)
+    energies = np.asarray(power.energy_per_work(freqs)) * tasks.works
+    freqs.setflags(write=False)
+    durations.setflags(write=False)
+    energies = np.asarray(energies, dtype=np.float64)
+    energies.setflags(write=False)
+    return IdealSolution(
+        tasks=tasks,
+        power=power,
+        frequencies=freqs,
+        durations=durations,
+        energies=energies,
+    )

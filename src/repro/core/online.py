@@ -1,0 +1,145 @@
+"""Online (non-clairvoyant) variant of the subinterval scheduler.
+
+The paper's algorithms are offline: all releases, deadlines, and execution
+requirements are known up front.  In deployment, aperiodic tasks *arrive* —
+the scheduler only learns a task at its release.  The natural online
+adaptation (noted as easy to implement in practical systems, §VI-D) is
+**re-planning**: at every release instant, rebuild the subinterval plan over
+the currently-known unfinished work and execute it until the next arrival.
+
+Because the continuous frequency range is unbounded, every re-plan is
+feasible for whatever work remains, so the online scheduler inherits the
+offline pipeline's guarantee that all deadlines are met — it just pays an
+energy premium for its ignorance of the future.  The premium is measured by
+the ``ablation_online`` experiment.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..power.models import PolynomialPower
+from .allocation import AllocationMethod
+from .schedule import Schedule, Segment
+from .scheduler import SubintervalScheduler
+from .task import Task, TaskSet
+
+__all__ = ["OnlineResult", "OnlineSubintervalScheduler"]
+
+_EPS = 1e-9
+
+
+@dataclass(frozen=True)
+class OnlineResult:
+    """Outcome of an online run."""
+
+    schedule: Schedule
+    replans: int
+
+    @property
+    def energy(self) -> float:
+        """Total energy of the executed schedule."""
+        return self.schedule.total_energy()
+
+
+class OnlineSubintervalScheduler:
+    """Event-driven re-planning wrapper around the offline pipeline.
+
+    Parameters
+    ----------
+    tasks:
+        The ground-truth task set (revealed to the scheduler release by
+        release).
+    m, power:
+        Platform definition.
+    method:
+        Heavy-subinterval allocation policy used at every re-plan.
+    """
+
+    def __init__(
+        self,
+        tasks: TaskSet,
+        m: int,
+        power: PolynomialPower,
+        method: AllocationMethod = "der",
+    ):
+        if m < 1:
+            raise ValueError("m must be >= 1")
+        self.tasks = tasks
+        self.m = int(m)
+        self.power = power
+        self.method: AllocationMethod = method
+
+    def run(self) -> OnlineResult:
+        """Simulate the arrival process and return the executed schedule."""
+        tasks = self.tasks
+        n = len(tasks)
+        remaining = tasks.works.copy()
+        release_times = np.unique(tasks.releases)
+        executed: list[Segment] = []
+        replans = 0
+
+        for k, now in enumerate(release_times):
+            horizon_end = (
+                float(release_times[k + 1]) if k + 1 < len(release_times) else None
+            )
+            known = [
+                i
+                for i in range(n)
+                if tasks.releases[i] <= now + _EPS and remaining[i] > _EPS
+            ]
+            if not known:
+                continue
+
+            plan_segments = self._replan(known, remaining, float(now))
+            replans += 1
+
+            if horizon_end is None:
+                # last arrival: execute the plan to completion
+                executed.extend(plan_segments)
+                for seg in plan_segments:
+                    remaining[seg.task_id] -= seg.work
+            else:
+                for seg in plan_segments:
+                    if seg.start >= horizon_end - _EPS:
+                        continue
+                    end = min(seg.end, horizon_end)
+                    if end - seg.start <= _EPS:
+                        continue
+                    clipped = Segment(
+                        seg.task_id, seg.core, seg.start, end, seg.frequency
+                    )
+                    executed.append(clipped)
+                    remaining[seg.task_id] -= clipped.work
+
+        remaining = np.where(remaining < 1e-7 * np.maximum(tasks.works, 1.0), 0.0, remaining)
+        if np.any(remaining > 0):
+            leftover = {int(i): float(w) for i, w in enumerate(remaining) if w > 0}
+            raise AssertionError(f"online run left work unfinished: {leftover}")
+
+        schedule = Schedule(tasks, self.m, self.power, executed)
+        return OnlineResult(schedule=schedule, replans=replans)
+
+    def _replan(
+        self, known: list[int], remaining: np.ndarray, now: float
+    ) -> list[Segment]:
+        """Offline-plan the remaining work of the known tasks from ``now``."""
+        sub_tasks = []
+        id_map: list[int] = []
+        for i in known:
+            deadline = float(self.tasks.deadlines[i])
+            if deadline <= now + _EPS:
+                raise AssertionError(
+                    f"task {i} has remaining work past its deadline (bug)"
+                )
+            sub_tasks.append(Task(now, deadline, float(remaining[i])))
+            id_map.append(i)
+        plan = SubintervalScheduler(
+            TaskSet(sub_tasks), self.m, self.power
+        ).final(self.method)
+        return [
+            Segment(id_map[s.task_id], s.core, s.start, s.end, s.frequency)
+            for s in plan.schedule
+        ]

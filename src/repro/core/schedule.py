@@ -1,0 +1,214 @@
+"""Concrete schedules: per-core, per-frequency execution segments.
+
+A :class:`Schedule` is the fully-resolved artifact every method in this
+library ultimately produces: a set of :class:`Segment` records, each saying
+*task i runs on core k over [start, end] at frequency f*.  It is what the
+discrete-event simulator replays, what the validator checks, and what the
+Gantt renderers draw.
+
+Energy bookkeeping lives here too because for the paper's model it is a pure
+function of the segments: an active core at frequency ``f`` for duration
+``Δ`` consumes ``p(f)·Δ``; idle cores sleep at zero power.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Iterable, Iterator, Sequence
+
+import numpy as np
+
+from ..power.models import PowerModel
+from .task import TaskSet
+
+__all__ = ["Segment", "Schedule"]
+
+
+@dataclass(frozen=True, slots=True)
+class Segment:
+    """One contiguous execution of one task on one core.
+
+    Work completed by the segment is ``frequency · (end − start)``.
+    """
+
+    task_id: int
+    core: int
+    start: float
+    end: float
+    frequency: float
+
+    def __post_init__(self) -> None:
+        if self.task_id < 0:
+            raise ValueError("task_id must be nonnegative")
+        if self.core < 0:
+            raise ValueError("core must be nonnegative")
+        if not self.end > self.start:
+            raise ValueError(
+                f"segment must have positive length, got [{self.start}, {self.end}]"
+            )
+        if self.frequency <= 0:
+            raise ValueError("frequency must be positive")
+
+    @property
+    def duration(self) -> float:
+        """Segment length in time units."""
+        return self.end - self.start
+
+    @property
+    def work(self) -> float:
+        """Cycles completed: ``frequency × duration``."""
+        return self.frequency * self.duration
+
+    def overlaps(self, other: "Segment") -> bool:
+        """True when the two segments overlap in time (open-interval sense)."""
+        return self.start < other.end and other.start < self.end
+
+    def shifted(self, dt: float) -> "Segment":
+        """Copy moved by ``dt`` in time."""
+        return replace(self, start=self.start + dt, end=self.end + dt)
+
+
+class Schedule(Sequence[Segment]):
+    """An immutable collection of segments bound to a task set and platform.
+
+    Invariants (enforced by :mod:`repro.sim.validate`, not by construction,
+    so partially-built or deliberately-broken schedules can be represented
+    for testing): no core executes two segments at once, no task executes on
+    two cores at once, every segment lies inside its task's window, and each
+    task's total work equals its requirement.
+    """
+
+    __slots__ = ("tasks", "n_cores", "power", "_segments")
+
+    def __init__(
+        self,
+        tasks: TaskSet,
+        n_cores: int,
+        power: PowerModel,
+        segments: Iterable[Segment],
+    ):
+        if n_cores < 1:
+            raise ValueError("n_cores must be >= 1")
+        self.tasks = tasks
+        self.n_cores = int(n_cores)
+        self.power = power
+        segs = tuple(sorted(segments, key=lambda s: (s.start, s.core, s.task_id)))
+        for s in segs:
+            if s.task_id >= len(tasks):
+                raise ValueError(f"segment references unknown task {s.task_id}")
+            if s.core >= n_cores:
+                raise ValueError(
+                    f"segment placed on core {s.core} but platform has {n_cores}"
+                )
+        self._segments = segs
+
+    # -- Sequence protocol ---------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._segments)
+
+    def __iter__(self) -> Iterator[Segment]:
+        return iter(self._segments)
+
+    def __getitem__(self, i):  # type: ignore[override]
+        return self._segments[i]
+
+    def __repr__(self) -> str:
+        return (
+            f"Schedule({len(self._segments)} segments, {len(self.tasks)} tasks, "
+            f"{self.n_cores} cores, E={self.total_energy():.6g})"
+        )
+
+    # -- energy ---------------------------------------------------------------------
+
+    def total_energy(self) -> float:
+        """Total energy of all segments: ``Σ p(f)·Δ``."""
+        if not self._segments:
+            return 0.0
+        f = np.array([s.frequency for s in self._segments])
+        d = np.array([s.duration for s in self._segments])
+        return float(np.sum(np.asarray(self.power.power(f)) * d))
+
+    def task_energy(self, task_id: int) -> float:
+        """Energy attributable to one task's segments."""
+        segs = [s for s in self._segments if s.task_id == task_id]
+        if not segs:
+            return 0.0
+        f = np.array([s.frequency for s in segs])
+        d = np.array([s.duration for s in segs])
+        return float(np.sum(np.asarray(self.power.power(f)) * d))
+
+    def energy_breakdown(self) -> np.ndarray:
+        """Per-task energy as an array indexed by task id."""
+        out = np.zeros(len(self.tasks))
+        for s in self._segments:
+            out[s.task_id] += float(np.asarray(self.power.power(s.frequency))) * s.duration
+        return out
+
+    # -- work accounting --------------------------------------------------------------
+
+    def work_completed(self, task_id: int | None = None):
+        """Cycles completed — per task id, or the full per-task array."""
+        if task_id is not None:
+            return float(sum(s.work for s in self._segments if s.task_id == task_id))
+        out = np.zeros(len(self.tasks))
+        for s in self._segments:
+            out[s.task_id] += s.work
+        return out
+
+    def completes_all(self, rtol: float = 1e-9, atol: float = 1e-9) -> bool:
+        """True when every task's completed work matches its requirement."""
+        return bool(
+            np.allclose(self.work_completed(), self.tasks.works, rtol=rtol, atol=atol)
+        )
+
+    # -- structure ----------------------------------------------------------------------
+
+    def segments_of_task(self, task_id: int) -> list[Segment]:
+        """Segments of one task, in time order."""
+        return [s for s in self._segments if s.task_id == task_id]
+
+    def segments_of_core(self, core: int) -> list[Segment]:
+        """Segments on one core, in time order."""
+        return [s for s in self._segments if s.core == core]
+
+    def busy_time(self) -> np.ndarray:
+        """Per-core total active time."""
+        out = np.zeros(self.n_cores)
+        for s in self._segments:
+            out[s.core] += s.duration
+        return out
+
+    def span(self) -> tuple[float, float]:
+        """``(earliest start, latest end)`` over all segments."""
+        if not self._segments:
+            r, d = self.tasks.horizon
+            return (r, r)
+        return (
+            min(s.start for s in self._segments),
+            max(s.end for s in self._segments),
+        )
+
+    def preemption_count(self) -> int:
+        """Number of task segment boundaries beyond the first per task."""
+        counts: dict[int, int] = {}
+        for s in self._segments:
+            counts[s.task_id] = counts.get(s.task_id, 0) + 1
+        return sum(max(c - 1, 0) for c in counts.values())
+
+    def migration_count(self) -> int:
+        """Number of times a task's consecutive segments change core."""
+        per_task: dict[int, list[Segment]] = {}
+        for s in self._segments:
+            per_task.setdefault(s.task_id, []).append(s)
+        migrations = 0
+        for segs in per_task.values():
+            segs.sort(key=lambda s: s.start)
+            migrations += sum(
+                1 for a, b in zip(segs, segs[1:]) if a.core != b.core
+            )
+        return migrations
+
+    def with_power(self, power: PowerModel) -> "Schedule":
+        """Same segments evaluated under a different power model."""
+        return Schedule(self.tasks, self.n_cores, power, self._segments)

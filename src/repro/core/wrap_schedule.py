@@ -1,0 +1,114 @@
+"""Algorithm 1: collision-free packing inside one subinterval.
+
+Given allocated available times ``t(τ)`` for the overlapping tasks of a
+subinterval ``[a, b]`` with ``t(τ) ≤ b − a`` and ``Σ t(τ) ≤ m·(b − a)``, the
+paper's Algorithm 1 is McNaughton's classic wrap-around rule: fill core 1
+left-to-right, and when a task would spill past ``b``, put its tail on the
+current core up to ``b`` and wrap its head to the start of the next core.
+Because each ``t(τ) ≤ b − a``, the two pieces of a wrapped task can never
+overlap in time, so no task runs on two cores at once; cores never hold two
+tasks at once by construction.
+
+The output is a list of at most ``n_j + m − 1`` slots ``(task_id, core,
+start, end)``.  A wrapped task gets exactly two slots, everyone else one.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Sequence
+
+__all__ = ["Slot", "wrap_schedule"]
+
+_EPS = 1e-9
+
+
+@dataclass(frozen=True, slots=True)
+class Slot:
+    """An available-time slot assigned to a task within one subinterval."""
+
+    task_id: int
+    core: int
+    start: float
+    end: float
+
+    @property
+    def duration(self) -> float:
+        """Slot length."""
+        return self.end - self.start
+
+
+def wrap_schedule(
+    start: float,
+    end: float,
+    allocations: Mapping[int, float] | Sequence[tuple[int, float]],
+    m: int,
+) -> list[Slot]:
+    """Pack allocated times onto ``m`` cores with McNaughton wrap-around.
+
+    Parameters
+    ----------
+    start, end:
+        The subinterval boundaries ``[t_j, t_{j+1}]``.
+    allocations:
+        Mapping (or pair sequence) task-id → allocated time.  Zero
+        allocations are skipped.  Order of iteration fixes the packing
+        order; dict order is preserved.
+    m:
+        Number of cores.
+
+    Raises
+    ------
+    ValueError
+        If any allocation exceeds the subinterval length, or the total
+        exceeds ``m·(end − start)`` (either makes collision-free packing
+        impossible).
+    """
+    if end <= start:
+        raise ValueError("subinterval must have positive length")
+    if m < 1:
+        raise ValueError("m must be >= 1")
+    delta = end - start
+    items = list(allocations.items()) if isinstance(allocations, Mapping) else list(allocations)
+
+    total = 0.0
+    for tid, t in items:
+        if t < -_EPS:
+            raise ValueError(f"negative allocation for task {tid}")
+        if t > delta * (1 + 1e-9) + _EPS:
+            raise ValueError(
+                f"allocation {t} for task {tid} exceeds subinterval length {delta}"
+            )
+        total += max(t, 0.0)
+    if total > m * delta * (1 + 1e-9) + _EPS:
+        raise ValueError(
+            f"total allocation {total} exceeds capacity m·Δ = {m * delta}"
+        )
+
+    slots: list[Slot] = []
+    k = 0  # current core
+    p = start  # earliest available time on core k
+    for tid, t in items:
+        t = min(max(float(t), 0.0), delta)
+        if t <= _EPS:
+            continue
+        if p + t <= end + _EPS:
+            # fits on the current core
+            seg_end = min(p + t, end)
+            slots.append(Slot(tid, k, p, seg_end))
+            p = seg_end
+            if end - p <= _EPS:
+                k += 1
+                p = start
+        else:
+            # wrap: tail [p, end] on core k, head [start, start+overflow] on k+1
+            overflow = t - (end - p)
+            if k + 1 >= m:
+                raise ValueError(
+                    "allocation does not fit on m cores (numerical overflow)"
+                )
+            slots.append(Slot(tid, k, p, end))
+            slots.append(Slot(tid, k + 1, start, start + overflow))
+            k += 1
+            p = start + overflow
+    return slots

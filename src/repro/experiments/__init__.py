@@ -1,0 +1,65 @@
+"""Evaluation harness: one module per table/figure of the paper's §VI.
+
+Each figure module exposes ``run(reps, seed, workers)`` returning a
+:class:`~repro.experiments.runner.SweepResult` (or grid result) whose series
+are exactly what the paper plots; the ``benchmarks/`` tree wraps these for
+pytest-benchmark.
+"""
+
+from . import (
+    ablation_der,
+    ablation_online,
+    ablation_switching,
+    ablation_two_level,
+    core_selection_exp,
+    fig6,
+    fig7,
+    fig8,
+    fig9,
+    fig10,
+    fig11,
+    illustrations,
+    scaling,
+    table2,
+)
+from .practical import DiscreteEvaluation, discrete_evaluation, evaluate_practical
+from .record import compare_sweeps, load_sweep, save_sweep, sweep_from_json, sweep_to_json
+from .runner import (
+    PointSpec,
+    SweepResult,
+    evaluate_taskset,
+    run_point,
+    run_replication,
+    sweep,
+)
+
+__all__ = [
+    "PointSpec",
+    "SweepResult",
+    "evaluate_taskset",
+    "run_replication",
+    "run_point",
+    "sweep",
+    "DiscreteEvaluation",
+    "discrete_evaluation",
+    "evaluate_practical",
+    "sweep_to_json",
+    "sweep_from_json",
+    "save_sweep",
+    "load_sweep",
+    "compare_sweeps",
+    "fig6",
+    "fig7",
+    "fig8",
+    "fig9",
+    "fig10",
+    "fig11",
+    "table2",
+    "core_selection_exp",
+    "ablation_der",
+    "ablation_online",
+    "ablation_switching",
+    "ablation_two_level",
+    "scaling",
+    "illustrations",
+]

@@ -1,0 +1,111 @@
+"""Ablation: robustness of the schedules to DVFS transition costs.
+
+The paper's platform model assumes free, instantaneous frequency switches.
+This experiment charges each switch a configurable energy and asks (a) how
+many switches each schedule actually performs, and (b) at what per-switch
+cost the ranking F2 < F1 would flip.  Because both final schedules run each
+task at a single frequency and only split tasks at subinterval boundaries,
+their switch counts are similar and the ranking is robust far beyond
+realistic transition costs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..analysis.tables import format_csv, format_table
+from ..core.scheduler import SubintervalScheduler
+from ..power.transitions import TransitionModel, analyze_transitions
+from .runner import PointSpec
+
+__all__ = ["SwitchingAblationResult", "run"]
+
+
+@dataclass(frozen=True)
+class SwitchingAblationResult:
+    """Per-method switch counts and adjusted-energy curves."""
+
+    switch_energies: tuple[float, ...]
+    mean_switches: dict[str, float]
+    mean_energy: dict[str, float]
+    adjusted: dict[str, np.ndarray]  # method -> energy per switch-cost level
+    reps: int
+
+    def format(self, precision: int = 4) -> str:
+        """Text-table rendering."""
+        head = ["method", "mean switches", "base energy"] + [
+            f"E(+{c:g}/switch)" for c in self.switch_energies
+        ]
+        rows = []
+        for method in self.mean_switches:
+            rows.append(
+                [
+                    method,
+                    self.mean_switches[method],
+                    self.mean_energy[method],
+                    *[float(v) for v in self.adjusted[method]],
+                ]
+            )
+        return format_table(
+            head,
+            rows,
+            precision=precision,
+            title=f"DVFS switching-cost ablation ({self.reps} replications)",
+        )
+
+    def to_csv(self) -> str:
+        """CSV rendering (long form)."""
+        rows = []
+        for method in self.mean_switches:
+            for c, e in zip(self.switch_energies, self.adjusted[method]):
+                rows.append([method, float(c), float(e)])
+        return format_csv(["method", "switch_energy", "adjusted_energy"], rows)
+
+    def ranking_preserved(self) -> bool:
+        """True when F2 stays at or below F1 at every switch-cost level."""
+        return bool(np.all(self.adjusted["F2"] <= self.adjusted["F1"] + 1e-9))
+
+
+def run(
+    reps: int = 30,
+    seed: int = 0,
+    spec: PointSpec | None = None,
+    switch_energies: tuple[float, ...] = (0.0, 0.01, 0.05, 0.1, 0.5),
+) -> SwitchingAblationResult:
+    """Charge each schedule's switches at several per-switch costs."""
+    spec = spec or PointSpec(m=4, alpha=3.0, p0=0.1, n_tasks=20)
+    methods = ("F1", "F2", "I1", "I2")
+    switches: dict[str, list[int]] = {m: [] for m in methods}
+    energies: dict[str, list[float]] = {m: [] for m in methods}
+
+    ss = np.random.SeedSequence(seed)
+    for child in ss.spawn(reps):
+        rng = np.random.default_rng(child)
+        tasks = spec.draw(rng)
+        sch = SubintervalScheduler(tasks, spec.m, spec.power())
+        for kind, res in sch.run_all().items():
+            rep = analyze_transitions(res.schedule, TransitionModel())
+            switches[kind].append(rep.total_switches)
+            energies[kind].append(res.energy)
+
+    mean_switches = {m: float(np.mean(v)) for m, v in switches.items()}
+    mean_energy = {m: float(np.mean(v)) for m, v in energies.items()}
+    adjusted = {
+        m: np.array(
+            [mean_energy[m] + c * mean_switches[m] for c in switch_energies]
+        )
+        for m in methods
+    }
+    return SwitchingAblationResult(
+        switch_energies=switch_energies,
+        mean_switches=mean_switches,
+        mean_energy=mean_energy,
+        adjusted=adjusted,
+        reps=reps,
+    )
+
+
+if __name__ == "__main__":  # pragma: no cover
+    print(run(reps=10).format())

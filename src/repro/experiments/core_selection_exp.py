@@ -1,0 +1,122 @@
+"""§VI-D "Additional Remarks": the core-count selection ablation.
+
+Sweeps the pre-run core-count selection against always using every core on
+the package.  Two observations come out (both verified by the benchmark):
+
+* Under the paper's model, *sleeping cores are free*, so the F2 energy is
+  monotone (non-increasing) in ``m`` and the selection never strictly saves
+  schedule energy — the honest quantitative version of §VI-D's remark.
+* The selection's real value is **parking**: the energy-minimizing count
+  (ties broken downward) is well below ``m_max``, and it *shrinks* as
+  static power grows (a higher critical frequency compresses executions, so
+  less parallelism is needed).  On hardware where parked cores can be
+  power-gated below "sleep", those are direct savings.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..analysis.tables import format_csv, format_table
+from ..core.core_selection import select_core_count
+from ..core.scheduler import SubintervalScheduler
+from .runner import PointSpec
+
+__all__ = ["CoreSelectionResult", "run"]
+
+
+@dataclass(frozen=True)
+class CoreSelectionResult:
+    """Per-p₀ averages of the selection sweep."""
+
+    p0_values: tuple[float, ...]
+    energy_all_cores: np.ndarray
+    energy_selected: np.ndarray
+    mean_best_m: np.ndarray
+    m_max: int
+
+    @property
+    def savings(self) -> np.ndarray:
+        """Fractional schedule energy saved by selecting the core count."""
+        return 1.0 - self.energy_selected / self.energy_all_cores
+
+    @property
+    def parked_cores(self) -> np.ndarray:
+        """Mean number of cores the selection leaves asleep for free."""
+        return self.m_max - self.mean_best_m
+
+    def format(self, precision: int = 4) -> str:
+        """Text-table rendering."""
+        headers = ["p0", "E(all cores)", "E(selected)", "saving", "mean best m", "parked cores"]
+        rows = [
+            [
+                float(p),
+                float(self.energy_all_cores[i]),
+                float(self.energy_selected[i]),
+                float(self.savings[i]),
+                float(self.mean_best_m[i]),
+                float(self.parked_cores[i]),
+            ]
+            for i, p in enumerate(self.p0_values)
+        ]
+        return format_table(
+            headers,
+            rows,
+            precision=precision,
+            title=f"§VI-D — core-count selection (m_max={self.m_max}, n=20, alpha=3)",
+        )
+
+    def to_csv(self) -> str:
+        """CSV rendering."""
+        headers = ["p0", "energy_all", "energy_selected", "saving", "mean_best_m"]
+        rows = [
+            [
+                float(p),
+                float(self.energy_all_cores[i]),
+                float(self.energy_selected[i]),
+                float(self.savings[i]),
+                float(self.mean_best_m[i]),
+            ]
+            for i, p in enumerate(self.p0_values)
+        ]
+        return format_csv(headers, rows)
+
+
+def run(
+    reps: int = 50,
+    seed: int = 0,
+    m_max: int = 8,
+    p0_values: tuple[float, ...] = (0.0, 0.1, 0.2, 0.4, 0.8),
+) -> CoreSelectionResult:
+    """Run the ablation over a static-power sweep."""
+    e_all = np.zeros(len(p0_values))
+    e_sel = np.zeros(len(p0_values))
+    best_m = np.zeros(len(p0_values))
+    for i, p0 in enumerate(p0_values):
+        spec = PointSpec(m=m_max, alpha=3.0, p0=float(p0), n_tasks=20)
+        rng_seeds = np.random.SeedSequence(seed + i).spawn(reps)
+        for child in rng_seeds:
+            rng = np.random.default_rng(child)
+            tasks = spec.draw(rng)
+            power = spec.power()
+            full = SubintervalScheduler(tasks, m_max, power).final("der")
+            sel = select_core_count(tasks, m_max, power, method="der")
+            e_all[i] += full.energy
+            e_sel[i] += sel.best.energy
+            best_m[i] += sel.best_m
+        e_all[i] /= reps
+        e_sel[i] /= reps
+        best_m[i] /= reps
+    return CoreSelectionResult(
+        p0_values=tuple(p0_values),
+        energy_all_cores=e_all,
+        energy_selected=e_sel,
+        mean_best_m=best_m,
+        m_max=m_max,
+    )
+
+
+if __name__ == "__main__":  # pragma: no cover
+    print(run(reps=10).format())

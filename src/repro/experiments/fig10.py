@@ -1,0 +1,37 @@
+"""Figure 10: NEC versus the number of tasks ``n``.
+
+Paper setting: ``m = 4``, ``α = 3``, ``p₀ = 0.2``, intensities in
+``[0.1, 1.0]``; ``n`` swept over ``{5, 15, 20, 25, 30, 35, 40}`` (the
+paper's printed set); 100 replications.  Expected shape: with few tasks
+(``n ≤ m``-ish) everything is lightly overlapped and all methods sit at the
+ideal; as ``n`` grows, contention spreads and F2's margin over F1 widens.
+"""
+
+from __future__ import annotations
+
+from .runner import PointSpec, SweepResult, sweep
+
+__all__ = ["TASK_COUNTS", "run"]
+
+#: The swept task counts (as printed in the paper).
+TASK_COUNTS: tuple[int, ...] = (5, 15, 20, 25, 30, 35, 40)
+
+
+def run(reps: int = 100, seed: int = 0, workers: int = 1) -> SweepResult:
+    """Reproduce Fig. 10's data."""
+    specs = [
+        (n, PointSpec(m=4, alpha=3.0, p0=0.2, n_tasks=int(n)))
+        for n in TASK_COUNTS
+    ]
+    return sweep(
+        "Fig. 10 — NEC vs number of tasks (m=4, alpha=3, p0=0.2)",
+        "n",
+        specs,
+        reps=reps,
+        seed=seed,
+        workers=workers,
+    )
+
+
+if __name__ == "__main__":  # pragma: no cover
+    print(run(reps=20).format())

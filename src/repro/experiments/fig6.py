@@ -1,0 +1,39 @@
+"""Figure 6: NEC versus static power ``p₀``.
+
+Paper setting: ``m = 4``, ``α = 3``, ``n = 20`` tasks with intensities drawn
+from ``{0.1, …, 1.0}``; ``p₀`` swept over ``{0, 0.02, …, 0.20}``; 100
+replications per point.  Expected shape: I1/F1 high when ``p₀`` is low
+(even allocation wastes the abundant stretching opportunity), F2 stays near
+optimal (≈1.0–1.1) across the whole range and improves as ``p₀`` grows.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .runner import PointSpec, SweepResult, sweep
+
+__all__ = ["P0_VALUES", "run"]
+
+#: The swept static-power values (paper: 0 to 0.20 step 0.02).
+P0_VALUES: tuple[float, ...] = tuple(np.round(np.arange(0.0, 0.2001, 0.02), 10))
+
+
+def run(reps: int = 100, seed: int = 0, workers: int = 1) -> SweepResult:
+    """Reproduce Fig. 6's data."""
+    specs = [
+        (p0, PointSpec(m=4, alpha=3.0, p0=float(p0), n_tasks=20))
+        for p0 in P0_VALUES
+    ]
+    return sweep(
+        "Fig. 6 — NEC vs static power p0 (m=4, alpha=3, n=20)",
+        "p0",
+        specs,
+        reps=reps,
+        seed=seed,
+        workers=workers,
+    )
+
+
+if __name__ == "__main__":  # pragma: no cover
+    print(run(reps=20).format())

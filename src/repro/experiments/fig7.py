@@ -1,0 +1,38 @@
+"""Figure 7: NEC versus the dynamic-power exponent ``α``.
+
+Paper setting: ``m = 4``, ``p₀ = 0``, ``α`` swept over ``{2.0, 2.1, …,
+3.0}``; 100 replications.  Expected shape: the even-allocation schedules
+degrade as ``α`` grows (the penalty for running faster than necessary is
+``(n_j/m)^{α−1}``-ish), while F2 stays flat near 1.1.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .runner import PointSpec, SweepResult, sweep
+
+__all__ = ["ALPHA_VALUES", "run"]
+
+#: The swept exponents (paper: 2.0 to 3.0 step 0.1).
+ALPHA_VALUES: tuple[float, ...] = tuple(np.round(np.arange(2.0, 3.001, 0.1), 10))
+
+
+def run(reps: int = 100, seed: int = 0, workers: int = 1) -> SweepResult:
+    """Reproduce Fig. 7's data."""
+    specs = [
+        (a, PointSpec(m=4, alpha=float(a), p0=0.0, n_tasks=20))
+        for a in ALPHA_VALUES
+    ]
+    return sweep(
+        "Fig. 7 — NEC vs dynamic exponent alpha (m=4, p0=0, n=20)",
+        "alpha",
+        specs,
+        reps=reps,
+        seed=seed,
+        workers=workers,
+    )
+
+
+if __name__ == "__main__":  # pragma: no cover
+    print(run(reps=20).format())

@@ -1,0 +1,37 @@
+"""Figure 8: NEC versus the number of cores ``m``.
+
+Paper setting: ``α = 3``, ``p₀ = 0.2``, ``n = 20``, core counts
+``{2, 4, 6, 8, 10, 12}``; 100 replications.  Expected shape: F2 is worst at
+``m = 2`` (contention leaves little allocation freedom) and drops sharply
+toward 1.0 as cores are added; with ``m ≥ n`` every subinterval is light and
+every method converges.
+"""
+
+from __future__ import annotations
+
+from .runner import PointSpec, SweepResult, sweep
+
+__all__ = ["CORE_COUNTS", "run"]
+
+#: The swept core counts (paper: 2 to 12 step 2).
+CORE_COUNTS: tuple[int, ...] = (2, 4, 6, 8, 10, 12)
+
+
+def run(reps: int = 100, seed: int = 0, workers: int = 1) -> SweepResult:
+    """Reproduce Fig. 8's data."""
+    specs = [
+        (m, PointSpec(m=int(m), alpha=3.0, p0=0.2, n_tasks=20))
+        for m in CORE_COUNTS
+    ]
+    return sweep(
+        "Fig. 8 — NEC vs number of cores (alpha=3, p0=0.2, n=20)",
+        "m",
+        specs,
+        reps=reps,
+        seed=seed,
+        workers=workers,
+    )
+
+
+if __name__ == "__main__":  # pragma: no cover
+    print(run(reps=20).format())

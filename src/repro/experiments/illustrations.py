@@ -1,0 +1,149 @@
+"""Regenerate the paper's illustrative figures (Figs. 1–5) as SVGs.
+
+§VI's plots are Monte-Carlo data (handled by the figure modules); Figs. 1–5
+are *worked-example* illustrations.  This module rebuilds each one from the
+actual algorithms — so the pictures are provably consistent with the
+implementation, not redrawn by hand:
+
+* **Fig. 1** — the three intro tasks as a window/requirement diagram.
+* **Fig. 2(a)** — YDS schedule of the intro example on a uniprocessor.
+* **Fig. 2(b)** — the optimal two-core schedule of §II (from the convex
+  solver via Theorem 1's constructive direction).
+* **Fig. 3** — energy vs used-time curve showing the static-power effect.
+* **Fig. 4** — the six-task example under even allocation (S^F1).
+* **Fig. 5** — the same under DER-based allocation (S^F2).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+
+from ..analysis.svg import gantt_svg, line_chart
+from ..baselines.yds import yds_schedule
+from ..core.scheduler import SubintervalScheduler
+from ..optimal import optimal_schedule, solve_optimal
+from ..power.models import PolynomialPower
+from ..workloads.presets import (
+    fig3_power,
+    intro_example,
+    motivational_power,
+    six_task_example,
+)
+
+__all__ = ["generate_all", "fig1_svg", "fig2a_svg", "fig2b_svg", "fig3_svg", "fig4_svg", "fig5_svg"]
+
+
+def fig1_svg() -> str:
+    """Task windows and requirements of the introductory example."""
+    tasks = intro_example()
+    lo, hi = tasks.horizon
+    width, row_h, ml, mt = 560, 44, 60, 50
+    height = mt + row_h * len(tasks) + 40
+    span = hi - lo
+
+    def sx(t: float) -> float:
+        return ml + (t - lo) / span * (width - ml - 20)
+
+    parts = [
+        f'<svg xmlns="http://www.w3.org/2000/svg" width="{width}" height="{height}" '
+        f'viewBox="0 0 {width} {height}" font-family="sans-serif" font-size="12">',
+        f'<rect width="{width}" height="{height}" fill="white"/>',
+        f'<text x="{width / 2}" y="22" text-anchor="middle" font-size="14" '
+        f'font-weight="bold">Fig. 1 — three aperiodic tasks (R, D, C)</text>',
+    ]
+    for i, t in enumerate(tasks):
+        y = mt + i * row_h
+        parts.append(
+            f'<text x="{ml - 8}" y="{y + row_h / 2}" text-anchor="end">τ{i + 1}</text>'
+        )
+        parts.append(
+            f'<rect x="{sx(t.release):.1f}" y="{y + 8}" '
+            f'width="{sx(t.deadline) - sx(t.release):.1f}" height="{row_h - 20}" '
+            f'fill="#cfe3f3" stroke="#0072B2"/>'
+        )
+        parts.append(
+            f'<text x="{(sx(t.release) + sx(t.deadline)) / 2:.1f}" '
+            f'y="{y + row_h / 2 + 1}" text-anchor="middle">C = {t.work:g}</text>'
+        )
+    for tick in np.arange(lo, hi + 0.5, 2.0):
+        parts.append(
+            f'<text x="{sx(float(tick)):.1f}" y="{height - 10}" '
+            f'text-anchor="middle">{tick:g}</text>'
+        )
+    parts.append("</svg>")
+    return "\n".join(parts)
+
+
+def fig2a_svg() -> str:
+    """YDS schedule of the intro example (uniprocessor)."""
+    res = yds_schedule(intro_example())
+    return gantt_svg(res.schedule, title="Fig. 2(a) — YDS on a uniprocessor")
+
+
+def fig2b_svg() -> str:
+    """The §II optimal schedule on two cores (from the convex program)."""
+    sol = solve_optimal(intro_example(), 2, motivational_power())
+    sched = optimal_schedule(sol)
+    return gantt_svg(
+        sched, title=f"Fig. 2(b) — optimal on 2 cores (E = {sol.energy:.4f})"
+    )
+
+
+def fig3_svg() -> str:
+    """Energy vs execution time used, p(f) = f² + 0.25, C = 2, A = 5."""
+    power = fig3_power()
+    used = np.linspace(2.0, 5.0, 60)  # time spent executing 2 units of work
+    energy = [float(power.energy(2.0, 2.0 / u)) for u in used]
+    return line_chart(
+        list(used),
+        {"E(2 units of work)": energy},
+        title="Fig. 3 — static power penalizes over-stretching (optimum at t = 4)",
+        x_label="execution time used",
+        y_label="energy",
+    )
+
+
+def _six_task(method: str, title: str) -> str:
+    sched = (
+        SubintervalScheduler(six_task_example(), 4, PolynomialPower(3.0, 0.0))
+        .final(method)
+        .schedule
+    )
+    return gantt_svg(sched, title=title)
+
+
+def fig4_svg() -> str:
+    """Six-task example, even allocation (S^F1, E = 33.0642)."""
+    return _six_task("even", "Fig. 4 — S^F1 (even allocation), E = 33.0642")
+
+
+def fig5_svg() -> str:
+    """Six-task example, DER-based allocation (S^F2, E = 31.8362)."""
+    return _six_task("der", "Fig. 5 — S^F2 (DER-based allocation), E = 31.8362")
+
+
+def generate_all(outdir: str | Path) -> list[Path]:
+    """Write every illustration; returns the created paths."""
+    outdir = Path(outdir)
+    outdir.mkdir(parents=True, exist_ok=True)
+    artifacts = {
+        "fig1_tasks.svg": fig1_svg,
+        "fig2a_yds.svg": fig2a_svg,
+        "fig2b_optimal.svg": fig2b_svg,
+        "fig3_static_power.svg": fig3_svg,
+        "fig4_even.svg": fig4_svg,
+        "fig5_der.svg": fig5_svg,
+    }
+    out = []
+    for name, fn in artifacts.items():
+        path = outdir / name
+        path.write_text(fn())
+        out.append(path)
+    return out
+
+
+if __name__ == "__main__":  # pragma: no cover
+    for p in generate_all(Path("results") / "figures"):
+        print(p)

@@ -1,0 +1,104 @@
+"""Experiment persistence: save/load sweep results as JSON.
+
+A :class:`~repro.experiments.runner.SweepResult` holds everything needed to
+re-render a figure (x values, per-series means/stds, auxiliary
+observations).  Recording them makes evaluation runs *artifacts*: the report
+generator, the SVG renderer, and regression comparisons can all run without
+re-simulating, and two runs can be diffed numerically.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from ..analysis.metrics import NecAggregate
+from .runner import SweepResult
+
+__all__ = ["sweep_to_json", "sweep_from_json", "save_sweep", "load_sweep", "compare_sweeps"]
+
+_FORMAT = "repro-sweep"
+_VERSION = 1
+
+
+def sweep_to_json(result: SweepResult, indent: int | None = 2) -> str:
+    """Serialize a sweep result (full per-point statistics, not just means)."""
+    payload = {
+        "format": _FORMAT,
+        "version": _VERSION,
+        "name": result.name,
+        "x_label": result.x_label,
+        "x_values": list(result.x_values),
+        "series_order": list(result.series_order),
+        "points": [
+            {
+                "n": agg.n,
+                "mean": dict(agg.mean),
+                "std": dict(agg.std),
+                "min": dict(agg.minimum),
+                "max": dict(agg.maximum),
+                "extra_mean": dict(agg.extra_mean),
+            }
+            for agg in result.aggregates
+        ],
+    }
+    return json.dumps(payload, indent=indent)
+
+
+def sweep_from_json(text: str) -> SweepResult:
+    """Reconstruct a sweep result from its JSON form."""
+    payload = json.loads(text)
+    if not isinstance(payload, dict) or payload.get("format") != _FORMAT:
+        raise ValueError(f"not a {_FORMAT} document")
+    if payload.get("version") != _VERSION:
+        raise ValueError(f"unsupported {_FORMAT} version")
+    aggregates = tuple(
+        NecAggregate(
+            n=int(p["n"]),
+            mean={k: float(v) for k, v in p["mean"].items()},
+            std={k: float(v) for k, v in p["std"].items()},
+            minimum={k: float(v) for k, v in p["min"].items()},
+            maximum={k: float(v) for k, v in p["max"].items()},
+            extra_mean={k: float(v) for k, v in p.get("extra_mean", {}).items()},
+        )
+        for p in payload["points"]
+    )
+    return SweepResult(
+        name=str(payload["name"]),
+        x_label=str(payload["x_label"]),
+        x_values=tuple(payload["x_values"]),
+        aggregates=aggregates,
+        series_order=tuple(payload["series_order"]),
+    )
+
+
+def save_sweep(result: SweepResult, path: str | Path) -> None:
+    """Write a sweep-result JSON to disk."""
+    Path(path).write_text(sweep_to_json(result))
+
+
+def load_sweep(path: str | Path) -> SweepResult:
+    """Read a sweep-result JSON from disk."""
+    return sweep_from_json(Path(path).read_text())
+
+
+def compare_sweeps(
+    a: SweepResult, b: SweepResult, rtol: float = 0.05
+) -> dict[str, float]:
+    """Largest relative mean-NEC deviation per series between two runs.
+
+    Raises when the sweeps are structurally incomparable; returns the
+    per-series max deviation so callers can assert
+    ``max(dev.values()) <= rtol`` for regression gating.
+    """
+    if a.x_values != b.x_values:
+        raise ValueError("sweeps cover different x values")
+    devs: dict[str, float] = {}
+    for s in a.series:
+        if s not in b.series:
+            raise ValueError(f"series {s!r} missing from second sweep")
+        ya, yb = a.series[s], b.series[s]
+        devs[s] = max(
+            abs(p - q) / max(abs(p), 1e-12) for p, q in zip(ya, yb)
+        )
+    return devs

@@ -1,0 +1,113 @@
+"""Complexity-curve experiment: heuristic vs optimal runtime (the
+"lightweight" claim of §I/§VII as data).
+
+Measures wall-clock of the full S^F2 pipeline and of the exact
+interior-point solve across task counts on identical instances, reporting
+the speedup factor.  Backing data for ``benchmarks/bench_lightweight.py``
+and the table in docs/benchmarking.md.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..analysis.tables import format_csv, format_table
+from ..core.scheduler import SubintervalScheduler
+from ..optimal import solve_optimal
+from ..power.models import PolynomialPower
+from ..workloads.generator import PaperWorkloadConfig, paper_workload
+
+__all__ = ["ScalingResult", "run"]
+
+
+@dataclass(frozen=True)
+class ScalingResult:
+    """Mean runtimes (seconds) per task count."""
+
+    task_counts: tuple[int, ...]
+    heuristic_s: np.ndarray
+    optimal_s: np.ndarray
+    heuristic_nec: np.ndarray  # quality alongside the cost
+    reps: int
+
+    @property
+    def speedup(self) -> np.ndarray:
+        """Optimal solve time over heuristic time."""
+        return self.optimal_s / np.maximum(self.heuristic_s, 1e-12)
+
+    def format(self, precision: int = 4) -> str:
+        """Text-table rendering."""
+        rows = [
+            [
+                int(n),
+                float(self.heuristic_s[i] * 1e3),
+                float(self.optimal_s[i] * 1e3),
+                float(self.speedup[i]),
+                float(self.heuristic_nec[i]),
+            ]
+            for i, n in enumerate(self.task_counts)
+        ]
+        return format_table(
+            ["n", "S^F2 (ms)", "optimal (ms)", "speedup", "NEC of F2"],
+            rows,
+            precision=precision,
+            title=f"Lightweight-claim scaling ({self.reps} reps, m=4, p0=0.1)",
+        )
+
+    def to_csv(self) -> str:
+        """CSV rendering."""
+        rows = [
+            [
+                int(n),
+                float(self.heuristic_s[i]),
+                float(self.optimal_s[i]),
+                float(self.heuristic_nec[i]),
+            ]
+            for i, n in enumerate(self.task_counts)
+        ]
+        return format_csv(["n", "heuristic_s", "optimal_s", "nec_f2"], rows)
+
+
+def run(
+    reps: int = 5,
+    seed: int = 0,
+    task_counts: tuple[int, ...] = (10, 20, 40, 80),
+    m: int = 4,
+) -> ScalingResult:
+    """Time both paths on shared instances."""
+    power = PolynomialPower(alpha=3.0, static=0.1)
+    h_t = np.zeros(len(task_counts))
+    o_t = np.zeros(len(task_counts))
+    nec = np.zeros(len(task_counts))
+    for i, n in enumerate(task_counts):
+        ss = np.random.SeedSequence(seed + i)
+        for child in ss.spawn(reps):
+            rng = np.random.default_rng(child)
+            tasks = paper_workload(rng, PaperWorkloadConfig(n_tasks=int(n)))
+
+            t0 = time.perf_counter()
+            res = SubintervalScheduler(tasks, m, power).final("der")
+            h_t[i] += time.perf_counter() - t0
+
+            t0 = time.perf_counter()
+            opt = solve_optimal(tasks, m, power)
+            o_t[i] += time.perf_counter() - t0
+
+            nec[i] += res.energy / opt.energy
+        h_t[i] /= reps
+        o_t[i] /= reps
+        nec[i] /= reps
+    return ScalingResult(
+        task_counts=tuple(int(n) for n in task_counts),
+        heuristic_s=h_t,
+        optimal_s=o_t,
+        heuristic_nec=nec,
+        reps=reps,
+    )
+
+
+if __name__ == "__main__":  # pragma: no cover
+    print(run().format())

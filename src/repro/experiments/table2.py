@@ -1,0 +1,104 @@
+"""Table II: NEC of the two *final* schedules over the ``(α, p₀)`` grid.
+
+Paper setting: ``m = 4``, ``n = 20``, ``α ∈ {2.0, 2.1, …, 3.0}``,
+``p₀ ∈ {0, 0.02, …, 0.20}``; each cell averages 100 replications and shows
+"NEC of F1" and "NEC of F2".  Expected shape: F2 ≈ 1.1 at ``p₀ = 0``
+declining toward ≈1.03 at ``p₀ = 0.20``; F1 substantially higher,
+especially at large ``α`` / small ``p₀``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..analysis.tables import format_csv, format_table
+from .runner import PointSpec, run_point
+
+__all__ = ["ALPHA_VALUES", "P0_VALUES", "Table2Result", "run"]
+
+#: Paper grid rows (α) and columns (p₀).
+ALPHA_VALUES: tuple[float, ...] = tuple(np.round(np.arange(2.0, 3.001, 0.1), 10))
+P0_VALUES: tuple[float, ...] = tuple(np.round(np.arange(0.0, 0.2001, 0.02), 10))
+
+
+@dataclass(frozen=True)
+class Table2Result:
+    """The two NEC grids, indexed ``[α_index, p₀_index]``."""
+
+    alphas: tuple[float, ...]
+    p0s: tuple[float, ...]
+    nec_f1: np.ndarray
+    nec_f2: np.ndarray
+
+    def format(self, precision: int = 4) -> str:
+        """Render both grids as text tables."""
+        out = []
+        for name, grid in (("F1", self.nec_f1), ("F2", self.nec_f2)):
+            headers = ["alpha \\ p0", *[f"{p:g}" for p in self.p0s]]
+            rows = [
+                [f"{a:g}", *[float(grid[i, j]) for j in range(len(self.p0s))]]
+                for i, a in enumerate(self.alphas)
+            ]
+            out.append(
+                format_table(
+                    headers,
+                    rows,
+                    precision=precision,
+                    title=f"Table II — NEC of {name} (m=4, n=20)",
+                )
+            )
+        return "\n".join(out)
+
+    def to_svg(self, which: str = "F2") -> str:
+        """Render one of the grids as an annotated heatmap."""
+        from ..analysis.svg import heatmap
+
+        grid = {"F1": self.nec_f1, "F2": self.nec_f2}.get(which)
+        if grid is None:
+            raise ValueError("which must be 'F1' or 'F2'")
+        return heatmap(
+            grid,
+            row_labels=[f"{a:g}" for a in self.alphas],
+            col_labels=[f"{p:g}" for p in self.p0s],
+            title=f"Table II — NEC of {which}",
+            x_label="static power p0",
+            y_label="alpha",
+        )
+
+    def to_csv(self) -> str:
+        """Long-form CSV: one row per (α, p₀) cell."""
+        headers = ["alpha", "p0", "nec_f1", "nec_f2"]
+        rows = []
+        for i, a in enumerate(self.alphas):
+            for j, p in enumerate(self.p0s):
+                rows.append(
+                    [float(a), float(p), float(self.nec_f1[i, j]), float(self.nec_f2[i, j])]
+                )
+        return format_csv(headers, rows)
+
+
+def run(
+    reps: int = 100,
+    seed: int = 0,
+    workers: int = 1,
+    alphas: tuple[float, ...] = ALPHA_VALUES,
+    p0s: tuple[float, ...] = P0_VALUES,
+) -> Table2Result:
+    """Reproduce Table II's grids (optionally on a reduced grid)."""
+    f1 = np.empty((len(alphas), len(p0s)))
+    f2 = np.empty((len(alphas), len(p0s)))
+    for i, a in enumerate(alphas):
+        for j, p in enumerate(p0s):
+            spec = PointSpec(m=4, alpha=float(a), p0=float(p), n_tasks=20)
+            agg = run_point(
+                spec, reps=reps, seed=seed + 104729 * (i * len(p0s) + j), workers=workers
+            )
+            f1[i, j] = agg.mean["F1"]
+            f2[i, j] = agg.mean["F2"]
+    return Table2Result(alphas=tuple(alphas), p0s=tuple(p0s), nec_f1=f1, nec_f2=f2)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    print(run(reps=10, alphas=(2.0, 2.5, 3.0), p0s=(0.0, 0.1, 0.2)).format())

@@ -1,0 +1,85 @@
+"""Schedule serialization: export/import concrete schedules as JSON.
+
+A serialized schedule embeds its task set and power-model parameters, so a
+saved file is self-contained: loading reconstructs an object whose energy,
+validation and replay behave identically.  Used by the CLI to hand schedules
+between planning and inspection steps.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from ..core.schedule import Schedule, Segment
+from ..core.task import TaskSet
+from ..power.models import PolynomialPower
+from .taskio import taskset_from_json, taskset_to_json
+
+__all__ = ["schedule_to_json", "schedule_from_json", "save_schedule", "load_schedule"]
+
+_FORMAT = "repro-schedule"
+_VERSION = 1
+
+
+def schedule_to_json(schedule: Schedule, indent: int | None = 2) -> str:
+    """Serialize a schedule (with its task set and power model) to JSON."""
+    power = schedule.power
+    if not isinstance(power, PolynomialPower):
+        raise TypeError(
+            "only PolynomialPower schedules are serializable "
+            f"(got {type(power).__name__})"
+        )
+    payload = {
+        "format": _FORMAT,
+        "version": _VERSION,
+        "n_cores": schedule.n_cores,
+        "power": {"alpha": power.alpha, "static": power.static, "gamma": power.gamma},
+        "tasks": json.loads(taskset_to_json(schedule.tasks)),
+        "segments": [
+            {
+                "task": s.task_id,
+                "core": s.core,
+                "start": s.start,
+                "end": s.end,
+                "frequency": s.frequency,
+            }
+            for s in schedule
+        ],
+    }
+    return json.dumps(payload, indent=indent)
+
+
+def schedule_from_json(text: str) -> Schedule:
+    """Reconstruct a schedule from its JSON form."""
+    payload = json.loads(text)
+    if not isinstance(payload, dict) or payload.get("format") != _FORMAT:
+        raise ValueError(f"not a {_FORMAT} document")
+    if payload.get("version") != _VERSION:
+        raise ValueError(f"unsupported {_FORMAT} version")
+    tasks = taskset_from_json(json.dumps(payload["tasks"]))
+    p = payload["power"]
+    power = PolynomialPower(
+        alpha=float(p["alpha"]), static=float(p["static"]), gamma=float(p.get("gamma", 1.0))
+    )
+    segments = [
+        Segment(
+            task_id=int(s["task"]),
+            core=int(s["core"]),
+            start=float(s["start"]),
+            end=float(s["end"]),
+            frequency=float(s["frequency"]),
+        )
+        for s in payload["segments"]
+    ]
+    return Schedule(tasks, int(payload["n_cores"]), power, segments)
+
+
+def save_schedule(schedule: Schedule, path: str | Path) -> None:
+    """Write a schedule JSON to disk."""
+    Path(path).write_text(schedule_to_json(schedule))
+
+
+def load_schedule(path: str | Path) -> Schedule:
+    """Read a schedule JSON from disk."""
+    return schedule_from_json(Path(path).read_text())

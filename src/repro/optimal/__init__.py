@@ -1,0 +1,153 @@
+"""Exact optimal baseline: the convex program of Theorem 1 and its solvers.
+
+:func:`solve_optimal` is the main entry point — it builds the convex
+reformulation for a task set and runs the structured interior-point solver,
+returning the optimal energy ``E^(O)`` that every figure normalizes against.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.intervals import Timeline
+from ..core.schedule import Schedule, Segment
+from ..core.task import TaskSet
+from ..core.wrap_schedule import Slot, wrap_schedule
+from ..power.models import PolynomialPower
+from .convex import ConvexProblem, OptimalSolution
+from .interior_point import InteriorPointSolver, IPConfig
+from .diagnostics import CenteringRecord, ConvergenceTrace, solve_with_trace
+from .flow import DemandRealization, check_demand_feasibility, realize_demands
+from .kkt import (
+    ActivityReport,
+    active_constraints,
+    projection_residual,
+    verify_optimality,
+)
+from .maxflow import FlowResult, MaxFlowNetwork
+from .projected_gradient import PGConfig, ProjectedGradientSolver, project_capped_box
+from .scipy_solver import solve_with_scipy
+
+__all__ = [
+    "ConvexProblem",
+    "OptimalSolution",
+    "InteriorPointSolver",
+    "IPConfig",
+    "ProjectedGradientSolver",
+    "PGConfig",
+    "project_capped_box",
+    "solve_with_scipy",
+    "solve_optimal",
+    "solve_optimal_capped",
+    "optimal_schedule",
+    "projection_residual",
+    "verify_optimality",
+    "active_constraints",
+    "ActivityReport",
+    "MaxFlowNetwork",
+    "FlowResult",
+    "CenteringRecord",
+    "ConvergenceTrace",
+    "solve_with_trace",
+    "DemandRealization",
+    "check_demand_feasibility",
+    "realize_demands",
+]
+
+
+def solve_optimal(
+    tasks: TaskSet,
+    m: int,
+    power: PolynomialPower,
+    solver: str = "interior-point",
+    **kwargs,
+) -> OptimalSolution:
+    """Solve the energy-minimal scheduling problem exactly.
+
+    Parameters
+    ----------
+    tasks, m, power:
+        Instance definition.
+    solver:
+        ``"interior-point"`` (default, fast structured solver),
+        ``"projected-gradient"``, or a SciPy method name (``"SLSQP"`` /
+        ``"trust-constr"``).
+    """
+    timeline = Timeline(tasks)
+    problem = ConvexProblem(timeline, m, power)
+    if solver == "interior-point":
+        return InteriorPointSolver(problem, kwargs.get("config")).solve()
+    if solver == "projected-gradient":
+        return ProjectedGradientSolver(problem, kwargs.get("config")).solve()
+    return solve_with_scipy(problem, method=solver, **kwargs)
+
+
+def solve_optimal_capped(
+    tasks: TaskSet,
+    m: int,
+    power: PolynomialPower,
+    f_max: float,
+    solver: str = "interior-point",
+    **kwargs,
+) -> OptimalSolution:
+    """Exact optimum under a hard frequency cap ``f ≤ f_max``.
+
+    Adds the per-task constraints ``A_i ≥ C_i / f_max`` to the convex
+    program (their barrier shares the objective's task-block structure, so
+    the interior-point cost is unchanged).  Raises ``ValueError`` when the
+    cap is infeasible for the instance (detected exactly by the phase-1 max
+    flow).  The returned solution's ``frequencies = C_i/A_i`` all satisfy
+    the cap.
+    """
+    if f_max <= 0:
+        raise ValueError("f_max must be positive")
+    timeline = Timeline(tasks)
+    problem = ConvexProblem(
+        timeline, m, power, min_available=tasks.works / f_max
+    )
+    if solver == "interior-point":
+        return InteriorPointSolver(problem, kwargs.get("config")).solve()
+    if solver == "projected-gradient":
+        raise ValueError(
+            "the projected-gradient solver does not support the capped "
+            "feasible set; use interior-point or a SciPy method"
+        )
+    return solve_with_scipy(problem, method=solver, **kwargs)
+
+
+def optimal_schedule(solution: OptimalSolution) -> Schedule:
+    """Materialize an optimal solution as a concrete collision-free schedule.
+
+    Per Theorem 1's constructive direction: within each subinterval the
+    optimal times ``x_{i,j}`` satisfy Algorithm 1's preconditions, so
+    McNaughton packing realizes them; each task runs at its single implied
+    frequency ``C_i / A_i``.
+    """
+    p = solution.problem
+    timeline = p.timeline
+    freq = solution.frequencies
+    mat = solution.matrix
+    segments: list[Segment] = []
+    for sub in timeline:
+        if sub.n_overlapping == 0:
+            continue
+        alloc = {
+            tid: float(mat[tid, sub.index])
+            for tid in sub.task_ids
+            if mat[tid, sub.index] > 1e-12
+        }
+        if not alloc:
+            continue
+        if sub.is_heavy(p.m):
+            slots = wrap_schedule(sub.start, sub.end, alloc, p.m)
+        else:
+            slots = [
+                Slot(tid, core, sub.start, sub.start + t)
+                for core, (tid, t) in enumerate(alloc.items())
+            ]
+        for s in slots:
+            if s.duration > 1e-12:
+                segments.append(
+                    Segment(s.task_id, s.core, s.start, s.end, float(freq[s.task_id]))
+                )
+    return Schedule(timeline.tasks, p.m, p.power, segments)

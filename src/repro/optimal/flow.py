@@ -1,0 +1,134 @@
+"""Flow-based demand feasibility and realization (the related-work machinery).
+
+The combinatorial algorithms of the paper's related work ([2], [4]) reduce
+multiprocessor speed scheduling to maximum flows on the bipartite
+task/subinterval network:
+
+    source ──(A_i)──► task_i ──(Δ_j, if covered)──► subinterval_j ──(m·Δ_j)──► sink
+
+A demand vector ``A`` (total execution time per task) is *feasible* iff the
+max flow saturates all source edges; the flow values on the middle edges are
+then exactly a valid ``x_{i,j}`` matrix, which Algorithm 1 turns into a
+collision-free schedule.  This gives an independent, combinatorial
+realization path for any solver's ``A`` — used by the test-suite to
+cross-validate the convex solvers, and by users to answer "could I give
+these tasks these durations at all?" without running an optimizer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.intervals import Timeline
+from ..core.task import TaskSet
+from .maxflow import MaxFlowNetwork
+
+__all__ = ["DemandRealization", "check_demand_feasibility", "realize_demands"]
+
+
+def _build_network(
+    timeline: Timeline, m: int, demands: np.ndarray
+) -> tuple[MaxFlowNetwork, list[int], list[tuple[int, int, int]]]:
+    """Construct the flow network; returns (net, source edge ids, middle edges)."""
+    n = len(timeline.tasks)
+    J = len(timeline)
+    # nodes: 0 = source, 1..n = tasks, n+1..n+J = subintervals, n+J+1 = sink
+    source, sink = 0, n + J + 1
+    net = MaxFlowNetwork(n + J + 2)
+    source_edges = []
+    for i in range(n):
+        source_edges.append(net.add_edge(source, 1 + i, float(demands[i])))
+    middle: list[tuple[int, int, int]] = []  # (edge id, task, subinterval)
+    lengths = timeline.lengths
+    cov = timeline.coverage
+    for i in range(n):
+        for j in np.flatnonzero(cov[i]):
+            eid = net.add_edge(1 + i, 1 + n + int(j), float(lengths[j]))
+            middle.append((eid, i, int(j)))
+    for j in range(J):
+        net.add_edge(1 + n + j, sink, float(m * lengths[j]))
+    return net, source_edges, middle
+
+
+@dataclass(frozen=True)
+class DemandRealization:
+    """Outcome of the flow computation for a demand vector."""
+
+    feasible: bool
+    x: np.ndarray  # (n, J) realized execution times (partial if infeasible)
+    shortfall: np.ndarray  # per-task unmet demand
+    bottleneck_subintervals: tuple[int, ...]  # min-cut side (when infeasible)
+
+
+def check_demand_feasibility(
+    tasks: TaskSet, m: int, demands, rtol: float = 1e-9
+) -> bool:
+    """True iff the demand vector ``A`` admits a valid ``x_{i,j}``."""
+    return realize_demands(tasks, m, demands, rtol=rtol).feasible
+
+
+def realize_demands(
+    tasks: TaskSet, m: int, demands, rtol: float = 1e-9
+) -> DemandRealization:
+    """Max-flow realization of per-task total execution times.
+
+    Parameters
+    ----------
+    tasks, m:
+        Instance definition.
+    demands:
+        Per-task desired total execution time ``A_i`` (each must not exceed
+        the task's window — no single machine can give more).
+    rtol:
+        Relative tolerance on the saturation test.
+
+    Returns
+    -------
+    DemandRealization
+        With ``x`` the realized times.  When infeasible, ``x`` is a maximal
+        partial realization, ``shortfall`` says which tasks are short, and
+        ``bottleneck_subintervals`` lists the congested subintervals on the
+        min-cut (the "heavily loaded" region blocking the demand).
+    """
+    if m < 1:
+        raise ValueError("m must be >= 1")
+    demands = np.asarray(demands, dtype=np.float64)
+    if demands.shape != (len(tasks),):
+        raise ValueError("demands must have one entry per task")
+    if np.any(demands < 0):
+        raise ValueError("demands must be nonnegative")
+    if np.any(demands > tasks.windows * (1 + 1e-9)):
+        raise ValueError("a demand exceeds its task's window (never realizable)")
+
+    timeline = Timeline(tasks)
+    net, source_edges, middle = _build_network(timeline, m, demands)
+    result = net.max_flow(0, len(tasks) + len(timeline) + 1)
+
+    total_demand = float(demands.sum())
+    feasible = result.value >= total_demand * (1 - rtol) - 1e-12
+
+    x = np.zeros((len(tasks), len(timeline)))
+    for eid, i, j in middle:
+        x[i, j] = max(result.edge_flows[eid], 0.0)
+
+    realized = np.array([result.edge_flows[e] for e in source_edges])
+    shortfall = np.maximum(demands - realized, 0.0)
+
+    bottleneck: tuple[int, ...] = ()
+    if not feasible:
+        # a subinterval is congested when its sink edge lies on the min cut,
+        # i.e. the subinterval node is still reachable in the residual graph
+        reach = net.min_cut_reachable(0)
+        n = len(tasks)
+        bottleneck = tuple(
+            j for j in range(len(timeline)) if reach[1 + n + j]
+        )
+
+    return DemandRealization(
+        feasible=feasible,
+        x=x,
+        shortfall=shortfall,
+        bottleneck_subintervals=bottleneck,
+    )

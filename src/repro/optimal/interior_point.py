@@ -1,0 +1,204 @@
+"""From-scratch log-barrier interior-point solver for the convex program.
+
+Theorem 1 of the paper says the reformulated problem is solvable in
+polynomial time by the interior-point method; this module *is* that solver,
+built directly on the problem structure instead of a generic NLP package:
+
+* **Barrier.** ``φ_t(x) = t·E(x) − Σ_v log x_v − Σ_v log(Δ−x_v) −
+  Σ_j log(mΔ_j − Σ_i x_{i,j})`` minimized by damped Newton, with the barrier
+  parameter ``t`` increased geometrically (standard path-following; the
+  number of inequality constraints over ``t`` certifies the duality gap).
+
+* **Structured Newton step.** The Hessian is ``D + U·diag(a)·Uᵀ +
+  V·diag(b)·Vᵀ`` where ``D`` is diagonal (box barriers), ``U`` maps variables
+  to their task (objective curvature ``a_i = t·h_i``) and ``V`` maps
+  variables to their subinterval (capacity barrier curvature
+  ``b_j = 1/s_j²``).  We invert it with the Woodbury identity: one diagonal
+  solve plus a dense ``(n+J)×(n+J)`` system — linear instead of cubic in the
+  number of variables, which is what makes the 100-replication Monte-Carlo
+  sweeps of §VI tractable in pure Python/NumPy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .convex import ConvexProblem, OptimalSolution
+
+__all__ = ["InteriorPointSolver", "IPConfig"]
+
+
+@dataclass(frozen=True)
+class IPConfig:
+    """Tunables of the barrier method (defaults fine for all paper sizes)."""
+
+    t_init: float = 1.0
+    mu: float = 20.0  # barrier parameter growth factor
+    gap_tol: float = 1e-9  # relative duality-gap target
+    newton_tol: float = 1e-10  # λ²/2 threshold per centering step
+    max_newton: int = 80  # Newton iterations per centering step
+    max_outer: int = 60  # barrier continuation steps
+    armijo: float = 0.25
+    backtrack: float = 0.5
+
+
+class InteriorPointSolver:
+    """Path-following barrier solver bound to one :class:`ConvexProblem`."""
+
+    def __init__(self, problem: ConvexProblem, config: IPConfig | None = None):
+        self.p = problem
+        self.cfg = config or IPConfig()
+        # number of inequality constraints: 2 per variable + 1 per subinterval
+        # (+ 1 per capped task when a frequency cap is present)
+        self.n_ineq = 2 * problem.k + problem.n_subs
+        if problem.min_available is not None:
+            self._capped = problem.min_available > 0
+            self.n_ineq += int(self._capped.sum())
+        else:
+            self._capped = None
+
+    # -- barrier pieces -----------------------------------------------------------
+
+    def _slacks(self, x: np.ndarray) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        s_lo = x
+        s_hi = self.p.var_len - x
+        s_cap = self.p.caps - self.p.column_sums(x)
+        return s_lo, s_hi, s_cap
+
+    def _task_slacks(self, x: np.ndarray) -> np.ndarray | None:
+        """Per-task slack ``A_i − d_i`` of the frequency-cap constraint."""
+        if self._capped is None:
+            return None
+        return self.p.available_times(x) - self.p.min_available
+
+    def _phi(self, x: np.ndarray, t: float) -> float:
+        s_lo, s_hi, s_cap = self._slacks(x)
+        if np.any(s_lo <= 0) or np.any(s_hi <= 0) or np.any(s_cap <= 0):
+            return float("inf")
+        obj = self.p.objective(x)
+        if not np.isfinite(obj):
+            return float("inf")
+        phi = (
+            t * obj
+            - float(np.log(s_lo).sum())
+            - float(np.log(s_hi).sum())
+            - float(np.log(s_cap).sum())
+        )
+        s_task = self._task_slacks(x)
+        if s_task is not None:
+            active = s_task[self._capped]
+            if np.any(active <= 0):
+                return float("inf")
+            phi -= float(np.log(active).sum())
+        return phi
+
+    def _grad_phi(self, x: np.ndarray, t: float) -> np.ndarray:
+        s_lo, s_hi, s_cap = self._slacks(x)
+        g = t * self.p.gradient(x)
+        g -= 1.0 / s_lo
+        g += 1.0 / s_hi
+        g += (1.0 / s_cap)[self.p.var_sub]
+        s_task = self._task_slacks(x)
+        if s_task is not None:
+            contrib = np.where(self._capped, -1.0 / np.maximum(s_task, 1e-300), 0.0)
+            g += contrib[self.p.var_task]
+        return g
+
+    def _newton_step(self, x: np.ndarray, t: float) -> tuple[np.ndarray, float]:
+        """Return ``(Δx, λ²)`` via the Woodbury-structured Hessian solve."""
+        p = self.p
+        s_lo, s_hi, s_cap = self._slacks(x)
+        g = self._grad_phi(x, t)
+
+        d = 1.0 / s_lo**2 + 1.0 / s_hi**2  # diagonal part
+        a = t * p.hessian_task_weights(x)  # task-coupled curvature (n,)
+        s_task = self._task_slacks(x)
+        if s_task is not None:
+            # the cap barrier's Hessian is Σ (1/s_task²)·u_i u_iᵀ — the same
+            # task-block structure as the objective, so it folds into `a`
+            a = a + np.where(self._capped, 1.0 / np.maximum(s_task, 1e-300) ** 2, 0.0)
+        b = 1.0 / s_cap**2  # subinterval-coupled curvature (J,)
+
+        dinv = 1.0 / d
+        # W = [U V]; M = S^{-1} + W^T D^{-1} W, with disjoint supports making
+        # the diagonal blocks diagonal and the cross block the coverage map.
+        n, J = p.n_tasks, p.n_subs
+        ut_dinv_u = np.bincount(p.var_task, weights=dinv, minlength=n)
+        vt_dinv_v = np.bincount(p.var_sub, weights=dinv, minlength=J)
+        M = np.zeros((n + J, n + J))
+        M[np.arange(n), np.arange(n)] = 1.0 / a + ut_dinv_u
+        M[n + np.arange(J), n + np.arange(J)] = 1.0 / b + vt_dinv_v
+        # cross terms: for each variable v, D^{-1}_v links task i and sub j
+        np.add.at(M, (p.var_task, n + p.var_sub), dinv)
+        M[n:, :n] = M[:n, n:].T
+
+        # Woodbury: Δx = -(D^{-1}g - D^{-1} W M^{-1} W^T D^{-1} g)
+        dg = dinv * g
+        wt_dg = np.concatenate(
+            [
+                np.bincount(p.var_task, weights=dg, minlength=n),
+                np.bincount(p.var_sub, weights=dg, minlength=J),
+            ]
+        )
+        try:
+            y = np.linalg.solve(M, wt_dg)
+        except np.linalg.LinAlgError:
+            y = np.linalg.lstsq(M, wt_dg, rcond=None)[0]
+        correction = dinv * (y[p.var_task] + y[n + p.var_sub])
+        dx = -(dg - correction)
+        lam2 = float(-g @ dx)
+        return dx, lam2
+
+    # -- main loop -----------------------------------------------------------------
+
+    def solve(self, x0: np.ndarray | None = None) -> OptimalSolution:
+        """Run the barrier method to the configured duality gap."""
+        p, cfg = self.p, self.cfg
+        x = p.feasible_start() if x0 is None else np.array(x0, dtype=np.float64)
+        s_lo, s_hi, s_cap = self._slacks(x)
+        if np.any(s_lo <= 0) or np.any(s_hi <= 0) or np.any(s_cap <= 0):
+            raise ValueError("x0 is not strictly feasible")
+
+        t = cfg.t_init
+        total_iters = 0
+        for _outer in range(cfg.max_outer):
+            # center at this t
+            for _ in range(cfg.max_newton):
+                dx, lam2 = self._newton_step(x, t)
+                total_iters += 1
+                if lam2 / 2.0 <= cfg.newton_tol:
+                    break
+                # backtracking line search keeping strict feasibility
+                step = 1.0
+                phi0 = self._phi(x, t)
+                g = self._grad_phi(x, t)
+                slope = float(g @ dx)
+                while step > 1e-14:
+                    cand = x + step * dx
+                    phi1 = self._phi(cand, t)
+                    if np.isfinite(phi1) and phi1 <= phi0 + cfg.armijo * step * slope:
+                        break
+                    step *= cfg.backtrack
+                else:
+                    break  # no progress possible; centering stalls
+                x = x + step * dx
+
+            gap = self.n_ineq / t
+            obj = p.objective(x)
+            if gap <= cfg.gap_tol * max(abs(obj), 1.0):
+                break
+            t *= cfg.mu
+        else:
+            gap = self.n_ineq / t
+
+        x = p.clip_feasible(x)
+        return OptimalSolution(
+            problem=p,
+            x=x,
+            energy=p.objective(x),
+            iterations=total_iters,
+            solver="interior-point",
+            gap=float(gap),
+        )

@@ -1,0 +1,132 @@
+"""SciPy-based reference solver (third, independent cross-check).
+
+Wraps :func:`scipy.optimize.minimize` (SLSQP by default, trust-constr as an
+alternative) around the same :class:`~repro.optimal.convex.ConvexProblem`.
+Slower and less scalable than the structured interior-point solver, but its
+independence makes solver-agreement tests meaningful.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy import optimize, sparse
+
+from .convex import ConvexProblem, OptimalSolution
+
+__all__ = ["solve_with_scipy"]
+
+
+def solve_with_scipy(
+    problem: ConvexProblem,
+    method: str = "SLSQP",
+    tol: float = 1e-12,
+    max_iter: int = 500,
+) -> OptimalSolution:
+    """Solve the convex program with a SciPy NLP method.
+
+    Parameters
+    ----------
+    problem:
+        The flattened convex program.
+    method:
+        ``"SLSQP"`` (default) or ``"trust-constr"``.
+    tol, max_iter:
+        Passed through to SciPy.
+    """
+    p = problem
+    x0 = p.feasible_start()
+    bounds = [(0.0, float(u)) for u in p.var_len]
+
+    # capacity rows: for each subinterval j, sum of its variables ≤ m·Δ_j
+    rows = p.var_sub
+    cols = np.arange(p.k)
+    A = sparse.csr_matrix(
+        (np.ones(p.k), (rows, cols)), shape=(p.n_subs, p.k)
+    )
+
+    # Guard the objective against A_i → 0 (SLSQP may probe the boundary).
+    floor = 1e-12 * max(float(p.lengths.min()), 1e-9)
+
+    def fun(x: np.ndarray) -> float:
+        xx = np.maximum(x, 0.0)
+        Ai = p.available_times(xx)
+        Ai = np.maximum(Ai, floor)
+        alpha = p.power.alpha
+        return float(
+            np.sum(p.power.gamma * np.power(p.works, alpha) / np.power(Ai, alpha - 1.0))
+            + p.power.static * Ai.sum()
+        )
+
+    def jac(x: np.ndarray) -> np.ndarray:
+        xx = np.maximum(x, 0.0)
+        Ai = np.maximum(p.available_times(xx), floor)
+        alpha = p.power.alpha
+        gA = (
+            -(alpha - 1.0)
+            * p.power.gamma
+            * np.power(p.works, alpha)
+            / np.power(Ai, alpha)
+            + p.power.static
+        )
+        return gA[p.var_task]
+
+    # optional frequency-cap rows: Σ_j x_{i,j} >= d_i per task
+    U = None
+    if p.min_available is not None:
+        U = sparse.csr_matrix(
+            (np.ones(p.k), (p.var_task, cols)), shape=(p.n_tasks, p.k)
+        )
+
+    if method == "SLSQP":
+        dense_a = A.toarray()
+        constraints = [
+            {
+                "type": "ineq",
+                "fun": lambda x, da=dense_a: p.caps - da @ x,
+                "jac": lambda x, da=dense_a: -da,
+            }
+        ]
+        if U is not None:
+            dense_u = U.toarray()
+            constraints.append(
+                {
+                    "type": "ineq",
+                    "fun": lambda x, du=dense_u: du @ x - p.min_available,
+                    "jac": lambda x, du=dense_u: du,
+                }
+            )
+        res = optimize.minimize(
+            fun,
+            x0,
+            jac=jac,
+            bounds=bounds,
+            constraints=constraints,
+            method="SLSQP",
+            options={"maxiter": max_iter, "ftol": tol},
+        )
+    elif method == "trust-constr":
+        constraints = [optimize.LinearConstraint(A, -np.inf, p.caps)]
+        if U is not None:
+            constraints.append(
+                optimize.LinearConstraint(U, p.min_available, np.inf)
+            )
+        res = optimize.minimize(
+            fun,
+            x0,
+            jac=jac,
+            bounds=optimize.Bounds(0.0, p.var_len),
+            constraints=constraints,
+            method="trust-constr",
+            options={"maxiter": max_iter, "gtol": tol, "xtol": tol},
+        )
+    else:
+        raise ValueError(f"unsupported method {method!r}")
+
+    x = p.clip_feasible(np.asarray(res.x, dtype=np.float64))
+    return OptimalSolution(
+        problem=p,
+        x=x,
+        energy=p.objective(x),
+        iterations=int(getattr(res, "nit", -1)),
+        solver=f"scipy-{method}",
+    )

@@ -1,0 +1,43 @@
+"""Power models: continuous ``γf^α + p₀``, discrete operating points, fitting.
+
+See :mod:`repro.power.models` for the abstract interface, and
+:mod:`repro.power.xscale` for the paper's practical-processor configuration.
+"""
+
+from .discrete import DiscreteFrequencySet, QuantizationResult
+from .fitting import FitResult, fit_linear_given_alpha, fit_power_model, fit_power_model_full
+from .models import PolynomialPower, PowerModel, energy_per_work
+from .transitions import TransitionModel, TransitionReport, analyze_transitions
+from .two_level import TwoLevelPlan, two_level_energy_of_schedule, two_level_split
+from .xscale import (
+    PAPER_FIT,
+    XSCALE_FREQUENCIES_MHZ,
+    XSCALE_POWERS_MW,
+    xscale_frequency_set,
+    xscale_power_model,
+    xscale_table,
+)
+
+__all__ = [
+    "PowerModel",
+    "PolynomialPower",
+    "energy_per_work",
+    "DiscreteFrequencySet",
+    "QuantizationResult",
+    "TransitionModel",
+    "TransitionReport",
+    "analyze_transitions",
+    "TwoLevelPlan",
+    "two_level_split",
+    "two_level_energy_of_schedule",
+    "FitResult",
+    "fit_power_model",
+    "fit_power_model_full",
+    "fit_linear_given_alpha",
+    "PAPER_FIT",
+    "XSCALE_FREQUENCIES_MHZ",
+    "XSCALE_POWERS_MW",
+    "xscale_power_model",
+    "xscale_frequency_set",
+    "xscale_table",
+]

@@ -1,0 +1,130 @@
+"""DVFS transition-overhead model (robustness extension).
+
+The paper assumes instantaneous, free frequency changes ("ideal processing
+cores").  Real DVFS transitions cost both time (PLL relock, voltage ramp)
+and energy.  This module quantifies how exposed a planned schedule is to
+that assumption: it counts the frequency/wake transitions each core would
+perform, charges a configurable per-switch cost, and checks whether each
+switch can be absorbed by the idle gap preceding it.
+
+This is an *analysis* layer — schedules are not modified — used by the
+``ablation_switching`` experiment to show that the DER-based final schedule
+is no more switch-hungry than the even one (both are bounded by the number
+of subinterval boundaries).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.schedule import Schedule
+
+__all__ = ["TransitionModel", "TransitionReport", "analyze_transitions"]
+
+_EPS = 1e-9
+
+
+@dataclass(frozen=True)
+class TransitionModel:
+    """Per-switch costs.
+
+    Attributes
+    ----------
+    switch_time:
+        Dead time per frequency change / wake-up, during which the core can
+        do no work.
+    switch_energy:
+        Energy per frequency change / wake-up.
+    frequency_tolerance:
+        Relative difference below which two frequencies count as "the same
+        operating point" (no switch).
+    """
+
+    switch_time: float = 0.0
+    switch_energy: float = 0.0
+    frequency_tolerance: float = 1e-9
+
+    def __post_init__(self) -> None:
+        if self.switch_time < 0 or self.switch_energy < 0:
+            raise ValueError("switch costs must be nonnegative")
+        if self.frequency_tolerance < 0:
+            raise ValueError("frequency_tolerance must be nonnegative")
+
+
+@dataclass(frozen=True)
+class TransitionReport:
+    """Transition accounting for one schedule under one model."""
+
+    total_switches: int
+    switches_per_core: tuple[int, ...]
+    task_switches: int
+    overhead_energy: float
+    base_energy: float
+    unabsorbable_switches: int
+
+    @property
+    def adjusted_energy(self) -> float:
+        """Planned energy plus switching overhead."""
+        return self.base_energy + self.overhead_energy
+
+    @property
+    def overhead_fraction(self) -> float:
+        """Overhead relative to the planned energy."""
+        if self.base_energy <= 0:
+            return 0.0
+        return self.overhead_energy / self.base_energy
+
+    @property
+    def all_absorbable(self) -> bool:
+        """True when every switch fits into the idle gap preceding it."""
+        return self.unabsorbable_switches == 0
+
+
+def analyze_transitions(
+    schedule: Schedule, model: TransitionModel
+) -> TransitionReport:
+    """Count and cost the DVFS transitions a schedule implies.
+
+    A *switch* is charged whenever a core starts a segment whose frequency
+    differs from the previous segment's (or wakes from sleep — the first
+    segment on a core, and any segment after an idle gap, changes the
+    operating point from "off").  A switch is *absorbable* when the idle gap
+    before the segment is at least ``switch_time`` (back-to-back segments at
+    a new frequency would need to shave execution time instead).
+    """
+    switches_per_core: list[int] = []
+    task_switches = 0
+    unabsorbable = 0
+
+    for core in range(schedule.n_cores):
+        segs = schedule.segments_of_core(core)
+        switches = 0
+        prev_freq: float | None = None  # None = sleeping
+        prev_end: float | None = None
+        prev_task: int | None = None
+        for seg in segs:
+            gap = seg.start - prev_end if prev_end is not None else float("inf")
+            woke = prev_end is None or gap > _EPS
+            freq_changed = (
+                prev_freq is None
+                or abs(seg.frequency - prev_freq)
+                > model.frequency_tolerance * max(abs(prev_freq), 1.0)
+            )
+            if woke or freq_changed:
+                switches += 1
+                if gap < model.switch_time - _EPS:
+                    unabsorbable += 1
+            if prev_task is not None and seg.task_id != prev_task:
+                task_switches += 1
+            prev_freq, prev_end, prev_task = seg.frequency, seg.end, seg.task_id
+        switches_per_core.append(switches)
+
+    total = sum(switches_per_core)
+    return TransitionReport(
+        total_switches=total,
+        switches_per_core=tuple(switches_per_core),
+        task_switches=task_switches,
+        overhead_energy=total * model.switch_energy,
+        base_energy=schedule.total_energy(),
+        unabsorbable_switches=unabsorbable,
+    )

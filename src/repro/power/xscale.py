@@ -1,0 +1,73 @@
+"""Intel XScale frequency/power characteristics (paper Table III).
+
+The paper evaluates its heuristics on a "practical processor's power
+configuration": the Intel XScale, whose five operating points are printed in
+Table III (frequency in MHz, power in mW).  Curve-fitting that table with the
+form ``p(f) = γ·f^α + p₀`` gives the paper's fit
+``p(f) = 3.855×10⁻⁶ · f^2.867 + 63.58``.
+
+This module ships the published table, the paper's fitted coefficients, and
+helpers to obtain either as model objects.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .discrete import DiscreteFrequencySet
+from .models import PolynomialPower
+
+__all__ = [
+    "XSCALE_FREQUENCIES_MHZ",
+    "XSCALE_POWERS_MW",
+    "PAPER_FIT",
+    "xscale_power_model",
+    "xscale_frequency_set",
+    "xscale_table",
+]
+
+#: Operating frequencies of the Intel XScale, MHz (Table III).
+XSCALE_FREQUENCIES_MHZ: tuple[float, ...] = (150.0, 400.0, 600.0, 800.0, 1000.0)
+
+#: Measured power at each operating point, mW (Table III).
+XSCALE_POWERS_MW: tuple[float, ...] = (80.0, 170.0, 400.0, 900.0, 1600.0)
+
+#: The paper's published curve fit: p(f) = 3.855e-6 · f^2.867 + 63.58.
+PAPER_FIT = PolynomialPower(alpha=2.867, static=63.58, gamma=3.855e-6)
+
+
+def xscale_table() -> tuple[np.ndarray, np.ndarray]:
+    """Return ``(frequencies_mhz, powers_mw)`` as float arrays."""
+    return (
+        np.array(XSCALE_FREQUENCIES_MHZ, dtype=np.float64),
+        np.array(XSCALE_POWERS_MW, dtype=np.float64),
+    )
+
+
+def xscale_power_model(refit: bool = False) -> PolynomialPower:
+    """The XScale continuous power model.
+
+    Parameters
+    ----------
+    refit:
+        When False (default) return the paper's published coefficients.
+        When True, re-run our own curve fitter on Table III (see
+        :mod:`repro.power.fitting`) — used in tests to confirm the published
+        fit is reproducible.
+    """
+    if not refit:
+        return PAPER_FIT
+    from .fitting import fit_power_model
+
+    freqs, powers = xscale_table()
+    return fit_power_model(freqs, powers)
+
+
+def xscale_frequency_set(refit: bool = False) -> DiscreteFrequencySet:
+    """XScale as a discrete-frequency platform (Table III operating points)."""
+    freqs, powers = xscale_table()
+    return DiscreteFrequencySet(
+        frequencies=freqs,
+        powers=powers,
+        continuous_fit=xscale_power_model(refit=refit),
+    )

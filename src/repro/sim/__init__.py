@@ -1,0 +1,33 @@
+"""Discrete-event multi-core simulation substrate.
+
+Replays planned schedules (:func:`execute_schedule`) on simulated DVFS cores
+and validates them against the paper's problem constraints
+(:func:`validate_schedule` / :func:`assert_valid`).
+"""
+
+from .engine import Event, EventQueue, SimulationClock
+from .executor import ExecutionReport, execute_schedule
+from .power_trace import PowerTrace, power_trace
+from .processor import CoreBusyError, SimCore, SimProcessor
+from .trace import ExecutionTrace, TaskOutcome, TraceRecord
+from .validate import Violation, ViolationKind, assert_valid, validate_schedule
+
+__all__ = [
+    "Event",
+    "EventQueue",
+    "SimulationClock",
+    "SimCore",
+    "SimProcessor",
+    "CoreBusyError",
+    "TraceRecord",
+    "TaskOutcome",
+    "ExecutionTrace",
+    "ExecutionReport",
+    "execute_schedule",
+    "PowerTrace",
+    "power_trace",
+    "Violation",
+    "ViolationKind",
+    "validate_schedule",
+    "assert_valid",
+]

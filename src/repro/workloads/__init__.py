@@ -1,0 +1,41 @@
+"""Workload generation: the paper's random generators and worked examples."""
+
+from .generator import (
+    PaperWorkloadConfig,
+    bursty_workload,
+    intensity_menu,
+    paper_workload,
+    xscale_workload,
+)
+from .presets import (
+    SIX_TASK_EXPECTED,
+    fig3_power,
+    intro_example,
+    motivational_power,
+    six_task_example,
+)
+from .analyze import WorkloadProfile, profile_taskset
+from .periodic import PeriodicTask, hyperperiod, unroll
+from .swf import SwfJob, parse_swf, taskset_from_swf, write_swf
+
+__all__ = [
+    "PaperWorkloadConfig",
+    "paper_workload",
+    "xscale_workload",
+    "bursty_workload",
+    "intensity_menu",
+    "intro_example",
+    "motivational_power",
+    "six_task_example",
+    "SIX_TASK_EXPECTED",
+    "fig3_power",
+    "SwfJob",
+    "parse_swf",
+    "taskset_from_swf",
+    "write_swf",
+    "WorkloadProfile",
+    "profile_taskset",
+    "PeriodicTask",
+    "hyperperiod",
+    "unroll",
+]

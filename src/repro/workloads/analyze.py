@@ -1,0 +1,132 @@
+"""Workload characterization: what does a task set demand of the platform?
+
+Answers the questions one asks before choosing a core count or frequency
+cap, all exactly (piecewise-constant over the subinterval decomposition, no
+sampling):
+
+* **parallelism profile** — how many tasks are simultaneously live over
+  time (the paper's ``n_j`` as a step function),
+* **load profile** — the total *fluid* frequency demand ``Σ intensity_i``
+  of live tasks (the minimum aggregate speed a fluid processor would need),
+* **utilization** against an ``m``-core unit-frequency platform,
+* **heavy fraction** — how much of the horizon is heavily overlapped for a
+  given ``m`` (where the paper's allocation methods actually differ).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.intervals import Timeline
+from ..core.task import TaskSet
+
+__all__ = ["WorkloadProfile", "profile_taskset"]
+
+_SPARK = "▁▂▃▄▅▆▇█"
+
+
+def _sparkline(values: np.ndarray) -> str:
+    if len(values) == 0:
+        return ""
+    lo, hi = float(values.min()), float(values.max())
+    span = (hi - lo) or 1.0
+    idx = ((values - lo) / span * (len(_SPARK) - 1)).astype(int)
+    return "".join(_SPARK[i] for i in idx)
+
+
+@dataclass(frozen=True)
+class WorkloadProfile:
+    """Exact characterization of one task set."""
+
+    tasks: TaskSet
+    timeline: Timeline
+    parallelism: np.ndarray  # n_j per subinterval
+    fluid_load: np.ndarray  # Σ intensities of overlapping tasks per subinterval
+
+    @property
+    def horizon(self) -> tuple[float, float]:
+        """``(R̄, D̄)``."""
+        return self.tasks.horizon
+
+    @property
+    def peak_parallelism(self) -> int:
+        """Maximum simultaneously-live tasks."""
+        return int(self.parallelism.max())
+
+    @property
+    def peak_fluid_load(self) -> float:
+        """Maximum aggregate intensity — the fluid frequency demand peak."""
+        return float(self.fluid_load.max())
+
+    @property
+    def mean_fluid_load(self) -> float:
+        """Time-weighted mean aggregate intensity."""
+        lengths = self.timeline.lengths
+        return float(np.sum(self.fluid_load * lengths) / lengths.sum())
+
+    def utilization(self, m: int, frequency: float = 1.0) -> float:
+        """Total work over platform capacity ``m·f·(D̄ − R̄)``."""
+        if m < 1 or frequency <= 0:
+            raise ValueError("need m >= 1 and positive frequency")
+        lo, hi = self.horizon
+        return self.tasks.total_work / (m * frequency * (hi - lo))
+
+    def heavy_fraction(self, m: int) -> float:
+        """Fraction of the horizon (by time) that is heavily overlapped."""
+        lengths = self.timeline.lengths
+        heavy = self.parallelism > m
+        return float(lengths[heavy].sum() / lengths.sum())
+
+    def min_cores_fluid(self, f_max: float = 1.0) -> int:
+        """Cores needed so the fluid load never exceeds ``m·f_max``.
+
+        A lower bound on any feasible core count at that cap (necessary, not
+        sufficient — integral task placement can require more).
+        """
+        if f_max <= 0:
+            raise ValueError("f_max must be positive")
+        return int(np.ceil(self.peak_fluid_load / f_max - 1e-12))
+
+    def intensity_histogram(self, bins: int = 10) -> tuple[np.ndarray, np.ndarray]:
+        """Histogram of per-task intensities over (0, 1]."""
+        return np.histogram(self.tasks.intensities, bins=bins, range=(0.0, 1.0))
+
+    def format(self, m: int | None = None, width: int = 60) -> str:
+        """Human-readable characterization (with sparkline profiles)."""
+        lo, hi = self.horizon
+        # resample the step functions onto a fixed-width grid for display
+        grid = np.linspace(lo, hi, width, endpoint=False)
+        idx = np.clip(
+            np.searchsorted(self.timeline.boundaries, grid, side="right") - 1,
+            0,
+            len(self.timeline) - 1,
+        )
+        lines = [
+            f"{len(self.tasks)} tasks over [{lo:g}, {hi:g}], "
+            f"total work {self.tasks.total_work:g}",
+            f"parallelism  {_sparkline(self.parallelism[idx])}  "
+            f"(peak {self.peak_parallelism})",
+            f"fluid load   {_sparkline(self.fluid_load[idx])}  "
+            f"(peak {self.peak_fluid_load:.3g}, mean {self.mean_fluid_load:.3g})",
+        ]
+        if m is not None:
+            lines.append(
+                f"on {m} cores: utilization {self.utilization(m):.1%}, "
+                f"heavy fraction {self.heavy_fraction(m):.1%}, "
+                f"fluid core bound {self.min_cores_fluid()}"
+            )
+        return "\n".join(lines)
+
+
+def profile_taskset(tasks: TaskSet) -> WorkloadProfile:
+    """Characterize ``tasks`` exactly over its subinterval decomposition."""
+    timeline = Timeline(tasks)
+    parallelism = timeline.overlap_counts.astype(np.int64)
+    fluid = timeline.coverage.T.astype(np.float64) @ tasks.intensities
+    parallelism.setflags(write=False)
+    fluid.setflags(write=False)
+    return WorkloadProfile(
+        tasks=tasks, timeline=timeline, parallelism=parallelism, fluid_load=fluid
+    )

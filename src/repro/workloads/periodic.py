@@ -1,0 +1,117 @@
+"""Periodic/sporadic task unrolling into the aperiodic model.
+
+The paper's introduction situates aperiodic scheduling against the classical
+frame-based/periodic/sporadic models.  Any of those reduce to this
+repository's model by *unrolling*: each job (instance) of a periodic task is
+one aperiodic task with release ``phase + k·period``, deadline ``release +
+relative deadline``, and work ``wcet`` (cycles at unit frequency).
+
+Unrolling over one hyperperiod makes every classical utilization result
+directly checkable against the machinery here (e.g. fluid feasibility of an
+implicit-deadline set at cap ``f`` ⟺ ``U ≤ m·f``), and lets the paper's
+scheduler act as an energy-aware periodic scheduler.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from fractions import Fraction
+
+from ..core.task import Task, TaskSet
+
+__all__ = ["PeriodicTask", "hyperperiod", "unroll"]
+
+
+@dataclass(frozen=True)
+class PeriodicTask:
+    """One periodic task ``(period, wcet, relative deadline, phase)``.
+
+    ``deadline`` defaults to the period (implicit deadlines); ``phase`` is
+    the first release instant.
+    """
+
+    period: float
+    wcet: float
+    deadline: float | None = None
+    phase: float = 0.0
+    name: str = ""
+
+    def __post_init__(self) -> None:
+        if self.period <= 0:
+            raise ValueError("period must be positive")
+        if self.wcet <= 0:
+            raise ValueError("wcet must be positive")
+        if self.relative_deadline <= 0:
+            raise ValueError("deadline must be positive")
+        if self.phase < 0:
+            raise ValueError("phase must be nonnegative")
+
+    @property
+    def relative_deadline(self) -> float:
+        """Relative deadline (defaults to the period)."""
+        return self.deadline if self.deadline is not None else self.period
+
+    @property
+    def utilization(self) -> float:
+        """``wcet / period`` at unit frequency."""
+        return self.wcet / self.period
+
+    @property
+    def density(self) -> float:
+        """``wcet / min(deadline, period)``."""
+        return self.wcet / min(self.relative_deadline, self.period)
+
+
+def hyperperiod(tasks: list[PeriodicTask], max_denominator: int = 10**6) -> float:
+    """LCM of the periods (rationalized to ``max_denominator``)."""
+    if not tasks:
+        raise ValueError("no tasks")
+    fracs = [
+        Fraction(t.period).limit_denominator(max_denominator) for t in tasks
+    ]
+    denom_lcm = math.lcm(*(f.denominator for f in fracs))
+    numers = [f.numerator * (denom_lcm // f.denominator) for f in fracs]
+    return math.lcm(*numers) / denom_lcm
+
+
+def unroll(
+    periodic: list[PeriodicTask],
+    horizon: float | None = None,
+    include_partial: bool = False,
+) -> TaskSet:
+    """Unroll periodic tasks into aperiodic jobs over ``horizon``.
+
+    Parameters
+    ----------
+    periodic:
+        The periodic task set.
+    horizon:
+        Unrolling window end (default: one hyperperiod past the largest
+        phase).
+    include_partial:
+        Keep jobs whose deadline falls past the horizon (default drops
+        them, so the returned instance is self-contained).
+    """
+    if not periodic:
+        raise ValueError("no tasks to unroll")
+    if horizon is None:
+        horizon = max(t.phase for t in periodic) + hyperperiod(periodic)
+    if horizon <= 0:
+        raise ValueError("horizon must be positive")
+
+    jobs: list[Task] = []
+    for idx, t in enumerate(periodic):
+        base = t.name or f"T{idx + 1}"
+        k = 0
+        while True:
+            release = t.phase + k * t.period
+            if release >= horizon:
+                break
+            deadline = release + t.relative_deadline
+            if deadline <= horizon or include_partial:
+                jobs.append(Task(release, deadline, t.wcet, name=f"{base}#{k}"))
+            k += 1
+    if not jobs:
+        raise ValueError("horizon too short: no complete job fits")
+    return TaskSet(jobs)

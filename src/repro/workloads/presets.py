@@ -1,0 +1,77 @@
+"""The paper's worked examples as ready-made task sets.
+
+Ground truth for the test-suite: each preset carries the numbers the paper
+derives for it, so regressions against the published results are caught
+directly.
+"""
+
+from __future__ import annotations
+
+from ..core.task import TaskSet
+from ..power.models import PolynomialPower
+
+__all__ = [
+    "intro_example",
+    "motivational_power",
+    "six_task_example",
+    "SIX_TASK_EXPECTED",
+    "fig3_power",
+]
+
+
+def intro_example() -> TaskSet:
+    """Figs. 1–2: three tasks on a uniprocessor.
+
+    ``R = (0, 2, 4)``, ``D = (12, 10, 8)``, ``C = (4, 2, 4)``.  YDS runs
+    ``[4, 8]`` at speed 1 (task 3 alone), then everything else at 0.75.
+    On two cores with ``p(f) = f³ + 0.01`` the optimal energy is
+    ``155/32 + 0.2`` (§II, including the static term the paper's prose
+    omits) with ``x = (8/3, 4/3, 4)``, ``y = (8, 4)``.
+    """
+    return TaskSet.from_tuples([(0.0, 12.0, 4.0), (2.0, 10.0, 2.0), (4.0, 8.0, 4.0)])
+
+
+def motivational_power() -> PolynomialPower:
+    """§II's power model: ``p(f) = f³ + 0.01``."""
+    return PolynomialPower(alpha=3.0, static=0.01)
+
+
+def six_task_example() -> TaskSet:
+    """§V-D: six tasks on a quad-core, ``p(f) = f³``.
+
+    Given as ``τ_i = (R_i, C_i, D_i)`` in the paper:
+    ``(0,8,10), (2,14,18), (4,8,16), (6,4,14), (8,10,20), (12,6,22)``.
+    """
+    return TaskSet.from_tuples(
+        [
+            (0.0, 10.0, 8.0),
+            (2.0, 18.0, 14.0),
+            (4.0, 16.0, 8.0),
+            (6.0, 14.0, 4.0),
+            (8.0, 20.0, 10.0),
+            (12.0, 22.0, 6.0),
+        ]
+    )
+
+
+#: Published results for :func:`six_task_example` (quad-core, p(f)=f³).
+SIX_TASK_EXPECTED = {
+    "m": 4,
+    "ideal_frequencies": (4 / 5, 7 / 8, 2 / 3, 1 / 2, 5 / 6, 3 / 5),
+    "heavy_subintervals": ((8.0, 10.0), (12.0, 14.0)),
+    "even_share": 8 / 5,
+    "der_alloc_8_10": (1.7415, 1.9048, 1.4512, 1.0884, 1.8141, 0.0),
+    "der_alloc_12_14": (0.0, 2.0, 1.5385, 1.1538, 1.9231, 1.3846),
+    "energy_F1": 33.0642,
+    "energy_F2": 31.8362,
+}
+
+
+def fig3_power() -> PolynomialPower:
+    """Fig. 3's power model ``p(f) = f² + 0.25``.
+
+    One task with 2 units of work and 5 units of available time: running at
+    0.4 over all 5 units costs 2.05; the optimum is 0.5 over 4 units for
+    energy 2.00 (critical frequency = 0.5).
+    """
+    return PolynomialPower(alpha=2.0, static=0.25)

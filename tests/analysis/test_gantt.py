@@ -1,0 +1,58 @@
+"""Unit tests for the ASCII Gantt renderer."""
+
+import pytest
+
+from repro.analysis import render_gantt, task_glyph
+from repro.core import Schedule, Segment, SubintervalScheduler, TaskSet
+from repro.power import PolynomialPower
+
+
+@pytest.fixture
+def simple_schedule():
+    ts = TaskSet.from_tuples([(0, 10, 4), (0, 10, 2)])
+    power = PolynomialPower(3.0, 0.0)
+    segs = [Segment(0, 0, 0.0, 8.0, 0.5), Segment(1, 1, 0.0, 4.0, 0.5)]
+    return Schedule(ts, 2, power, segs)
+
+
+class TestGlyph:
+    def test_digits_then_letters(self):
+        assert task_glyph(0) == "1"
+        assert task_glyph(9) == "a"
+        assert task_glyph(200) == "#"
+
+
+class TestRender:
+    def test_contains_core_rows(self, simple_schedule):
+        out = render_gantt(simple_schedule)
+        assert "M1 |" in out and "M2 |" in out
+
+    def test_glyphs_present(self, simple_schedule):
+        out = render_gantt(simple_schedule)
+        assert "1" in out and "2" in out
+
+    def test_legend(self, simple_schedule):
+        out = render_gantt(simple_schedule)
+        assert "legend:" in out
+        assert "f=0.5" in out
+
+    def test_legend_optional(self, simple_schedule):
+        out = render_gantt(simple_schedule, show_legend=False)
+        assert "legend:" not in out
+
+    def test_width_validation(self, simple_schedule):
+        with pytest.raises(ValueError):
+            render_gantt(simple_schedule, width=3)
+
+    def test_busy_proportions(self, simple_schedule):
+        out = render_gantt(simple_schedule, width=100, show_legend=False)
+        m1 = next(l for l in out.splitlines() if l.startswith("M1"))
+        m2 = next(l for l in out.splitlines() if l.startswith("M2"))
+        # task 0 occupies ~80% of M1's lane; task 1 ~40% of M2's
+        assert 70 <= m1.count("1") <= 90
+        assert 30 <= m2.count("2") <= 50
+
+    def test_six_task_render(self, six_tasks, cube_power):
+        sched = SubintervalScheduler(six_tasks, 4, cube_power).final("der").schedule
+        out = render_gantt(sched)
+        assert out.count("M") >= 4  # four cores

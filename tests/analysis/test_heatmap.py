@@ -1,0 +1,57 @@
+"""Tests for the heatmap SVG renderer and Table II integration."""
+
+import xml.etree.ElementTree as ET
+
+import pytest
+
+from repro.analysis import heatmap
+
+
+class TestHeatmap:
+    def test_valid_xml(self):
+        svg = heatmap([[1.0, 2.0], [3.0, 4.0]], ["a", "b"], ["x", "y"], title="T")
+        root = ET.fromstring(svg)
+        assert root.tag.endswith("svg")
+
+    def test_cells_annotated(self):
+        svg = heatmap([[1.234, 2.0]], ["r"], ["c1", "c2"], precision=2)
+        assert "1.23" in svg
+        assert "2.00" in svg
+
+    def test_labels_rendered(self):
+        svg = heatmap([[1.0]], ["alpha=3"], ["p0=0"], x_label="p0", y_label="alpha")
+        assert "alpha=3" in svg and "p0=0" in svg
+        assert ">p0<" in svg
+
+    def test_extremes_get_extreme_colors(self):
+        svg = heatmap([[0.0, 1.0]], ["r"], ["lo", "hi"])
+        assert "rgb(255,255,255)" in svg  # min -> white
+        assert "rgb(0,114,178)" in svg  # max -> full blue
+
+    def test_constant_grid_ok(self):
+        svg = heatmap([[2.0, 2.0]], ["r"], ["a", "b"])
+        ET.fromstring(svg)
+
+    def test_shape_validation(self):
+        with pytest.raises(ValueError):
+            heatmap([[1.0, 2.0]], ["r"], ["only-one"])
+        with pytest.raises(ValueError):
+            heatmap([[1.0]], ["a", "b"], ["c"])
+        with pytest.raises(ValueError):
+            heatmap([[float("nan")]], ["a"], ["c"])
+
+    def test_escaping(self):
+        svg = heatmap([[1.0]], ["<r>"], ["&c"], title="a < b")
+        ET.fromstring(svg)
+
+
+class TestTable2Svg:
+    def test_table2_heatmap(self):
+        from repro.experiments import table2
+
+        res = table2.run(reps=2, seed=0, alphas=(2.0, 3.0), p0s=(0.0, 0.2))
+        svg = res.to_svg("F2")
+        ET.fromstring(svg)
+        assert "Table II" in svg
+        with pytest.raises(ValueError):
+            res.to_svg("F9")

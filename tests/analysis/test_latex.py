@@ -1,0 +1,67 @@
+"""Tests for LaTeX table emission."""
+
+import pytest
+
+from repro.analysis.latex import latex_escape, latex_grid_table, latex_series_table
+
+
+class TestEscape:
+    def test_specials(self):
+        assert latex_escape("a_b & 50%") == r"a\_b \& 50\%"
+
+    def test_backslash(self):
+        assert latex_escape("a\\b") == r"a\textbackslash{}b"
+
+    def test_plain_passthrough(self):
+        assert latex_escape("F2") == "F2"
+
+
+class TestSeriesTable:
+    def test_structure(self):
+        out = latex_series_table(
+            "p0",
+            [0.0, 0.2],
+            {"F1": [1.4, 1.3], "F2": [1.07, 1.04]},
+            caption="NEC vs p0",
+            label="tab:fig6",
+        )
+        assert r"\begin{table}" in out
+        assert r"\toprule" in out and r"\bottomrule" in out
+        assert r"\caption{NEC vs p0}" in out
+        assert r"\label{tab:fig6}" in out
+        assert "1.0700" in out
+        assert out.count(r" \\") == 3  # header + 2 data rows
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            latex_series_table("x", [1], {"s": [1.0, 2.0]})
+
+    def test_empty_x(self):
+        with pytest.raises(ValueError):
+            latex_series_table("x", [], {})
+
+    def test_from_sweep_result(self):
+        from repro.experiments import PointSpec, sweep
+
+        res = sweep("t", "p0", [(0.0, PointSpec(n_tasks=5))], reps=2)
+        out = latex_series_table(res.x_label, res.x_values, res.series)
+        assert "Idl" in out and "F2" in out
+
+
+class TestGridTable:
+    def test_structure(self):
+        out = latex_grid_table(
+            [[1.0, 1.1], [1.2, 1.3]],
+            row_labels=["2.0", "3.0"],
+            col_labels=["0", "0.2"],
+            corner="alpha \\ p0",
+            precision=2,
+        )
+        assert "1.30" in out
+        assert r"\toprule" in out
+
+    def test_shape_validation(self):
+        with pytest.raises(ValueError):
+            latex_grid_table([[1.0]], ["a", "b"], ["c"])
+        with pytest.raises(ValueError):
+            latex_grid_table([[1.0, 2.0]], ["a"], ["c"])

@@ -1,0 +1,136 @@
+"""Unit tests for the statistics helpers."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.stats import (
+    ConfidenceInterval,
+    RunningStats,
+    bootstrap_ci,
+    paired_sign_test,
+)
+
+
+class TestBootstrap:
+    def test_mean_inside_interval(self, rng):
+        x = rng.normal(10.0, 2.0, 200)
+        ci = bootstrap_ci(x, seed=1)
+        assert ci.low <= ci.estimate <= ci.high
+        assert 10.0 in ci  # true mean covered (very high probability)
+
+    def test_width_shrinks_with_sample_size(self, rng):
+        small = bootstrap_ci(rng.normal(0, 1, 20), seed=2)
+        large = bootstrap_ci(rng.normal(0, 1, 2000), seed=2)
+        assert large.width < small.width
+
+    def test_deterministic(self, rng):
+        x = rng.normal(0, 1, 50)
+        a = bootstrap_ci(x, seed=7)
+        b = bootstrap_ci(x, seed=7)
+        assert (a.low, a.high) == (b.low, b.high)
+
+    def test_custom_statistic(self, rng):
+        x = rng.exponential(1.0, 300)
+        ci = bootstrap_ci(x, statistic=np.median, seed=3)
+        assert ci.estimate == pytest.approx(float(np.median(x)))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            bootstrap_ci([1.0])
+        with pytest.raises(ValueError):
+            bootstrap_ci([1.0, 2.0], confidence=1.5)
+        with pytest.raises(ValueError):
+            bootstrap_ci([1.0, 2.0], n_boot=10)
+
+    def test_str(self):
+        ci = ConfidenceInterval(1.0, 0.9, 1.1, 0.95)
+        assert "95%" in str(ci)
+
+
+class TestSignTest:
+    def test_identical_samples_p_one(self):
+        x = [1.0, 2.0, 3.0]
+        assert paired_sign_test(x, x) == 1.0
+
+    def test_consistent_dominance_small_p(self):
+        a = list(np.linspace(1, 2, 20))
+        b = [v + 0.1 for v in a]
+        assert paired_sign_test(a, b) < 0.01
+
+    def test_symmetric(self):
+        rng = np.random.default_rng(0)
+        a = rng.normal(0, 1, 30)
+        b = rng.normal(0, 1, 30)
+        assert paired_sign_test(a, b) == pytest.approx(paired_sign_test(b, a))
+
+    def test_balanced_diffs_large_p(self):
+        a = [1.0, 2.0, 3.0, 4.0]
+        b = [1.1, 1.9, 3.1, 3.9]
+        assert paired_sign_test(a, b) > 0.5
+
+    def test_shape_validation(self):
+        with pytest.raises(ValueError):
+            paired_sign_test([1.0], [1.0, 2.0])
+
+    def test_f2_beats_f1_on_shared_instances(self):
+        """Statistical confirmation of the paper's core result."""
+        from repro.experiments import PointSpec, run_replication
+
+        spec = PointSpec(m=4, alpha=3.0, p0=0.1, n_tasks=20)
+        f1, f2 = [], []
+        for seed in range(12):
+            s = run_replication(spec, seed)
+            f1.append(s.values["F1"])
+            f2.append(s.values["F2"])
+        assert paired_sign_test(f2, f1) < 0.01  # F2 < F1, significantly
+
+
+class TestRunningStats:
+    def test_matches_numpy(self, rng):
+        x = rng.normal(3, 2, 500)
+        rs = RunningStats()
+        rs.extend(x)
+        assert rs.n == 500
+        assert rs.mean == pytest.approx(float(x.mean()))
+        assert rs.variance == pytest.approx(float(x.var(ddof=1)))
+        assert rs.std == pytest.approx(float(x.std(ddof=1)))
+        assert rs.minimum == float(x.min())
+        assert rs.maximum == float(x.max())
+
+    def test_sem(self, rng):
+        x = rng.normal(0, 1, 100)
+        rs = RunningStats()
+        rs.extend(x)
+        assert rs.sem == pytest.approx(rs.std / 10.0)
+
+    def test_empty_raises(self):
+        rs = RunningStats()
+        with pytest.raises(ValueError):
+            _ = rs.mean
+
+    def test_single_observation(self):
+        rs = RunningStats()
+        rs.push(5.0)
+        assert rs.mean == 5.0
+        assert rs.variance == 0.0
+
+    def test_merge_equals_sequential(self, rng):
+        x = rng.normal(0, 1, 100)
+        a, b, full = RunningStats(), RunningStats(), RunningStats()
+        a.extend(x[:40])
+        b.extend(x[40:])
+        full.extend(x)
+        merged = a.merge(b)
+        assert merged.n == full.n
+        assert merged.mean == pytest.approx(full.mean)
+        assert merged.variance == pytest.approx(full.variance)
+        assert merged.minimum == full.minimum
+
+    def test_merge_with_empty(self, rng):
+        x = rng.normal(0, 1, 10)
+        a = RunningStats()
+        a.extend(x)
+        merged = a.merge(RunningStats())
+        assert merged.mean == pytest.approx(a.mean)
+        merged2 = RunningStats().merge(a)
+        assert merged2.mean == pytest.approx(a.mean)

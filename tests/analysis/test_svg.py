@@ -1,0 +1,76 @@
+"""Unit tests for the SVG renderers."""
+
+import xml.etree.ElementTree as ET
+
+import pytest
+
+from repro.analysis import gantt_svg, line_chart
+from repro.core import Schedule, Segment, SubintervalScheduler, TaskSet
+from repro.power import PolynomialPower
+
+
+def _parse(svg: str) -> ET.Element:
+    return ET.fromstring(svg)
+
+
+class TestLineChart:
+    def test_valid_xml(self):
+        svg = line_chart([0, 1, 2], {"F2": [1.0, 1.1, 1.05]})
+        root = _parse(svg)
+        assert root.tag.endswith("svg")
+
+    def test_series_rendered_as_paths(self):
+        svg = line_chart([0, 1, 2], {"A": [1, 2, 3], "B": [3, 2, 1]})
+        assert svg.count('stroke-width="1.8"') >= 2  # two series lines
+
+    def test_legend_labels(self):
+        svg = line_chart([0, 1], {"NEC of F2": [1.0, 1.1]})
+        assert "NEC of F2" in svg
+
+    def test_title_and_axes(self):
+        svg = line_chart([0, 1], {"s": [1, 2]}, title="T", x_label="x", y_label="y")
+        assert ">T<" in svg and ">x<" in svg and ">y<" in svg
+
+    def test_title_escaped(self):
+        svg = line_chart([0, 1], {"s": [1, 2]}, title="a < b & c")
+        _parse(svg)  # must stay valid XML
+
+    def test_nan_points_skipped(self):
+        svg = line_chart([0, 1, 2], {"s": [1.0, float("nan"), 2.0]})
+        _parse(svg)
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            line_chart([0, 1], {"s": [1.0]})
+
+    def test_empty_x(self):
+        with pytest.raises(ValueError):
+            line_chart([], {"s": []})
+
+    def test_all_nan_rejected(self):
+        with pytest.raises(ValueError):
+            line_chart([0], {"s": [float("nan")]})
+
+
+class TestGanttSvg:
+    def _schedule(self):
+        ts = TaskSet.from_tuples([(0, 10, 4), (0, 10, 2)])
+        segs = [Segment(0, 0, 0.0, 8.0, 0.5), Segment(1, 1, 0.0, 4.0, 0.5)]
+        return Schedule(ts, 2, PolynomialPower(3.0, 0.0), segs)
+
+    def test_valid_xml(self):
+        svg = gantt_svg(self._schedule(), title="S")
+        root = _parse(svg)
+        assert root.tag.endswith("svg")
+
+    def test_lanes_and_segments(self):
+        svg = gantt_svg(self._schedule())
+        assert "M1" in svg and "M2" in svg
+        # one background rect per lane + one rect per segment + canvas
+        assert svg.count("<rect") >= 5
+
+    def test_six_task_example_renders(self, six_tasks, cube_power):
+        sched = SubintervalScheduler(six_tasks, 4, cube_power).final("der").schedule
+        svg = gantt_svg(sched, title="S^F2")
+        _parse(svg)
+        assert "M4" in svg

@@ -1,0 +1,52 @@
+"""Unit tests for table formatting."""
+
+import pytest
+
+from repro.analysis import format_csv, format_series_block, format_table
+
+
+class TestFormatTable:
+    def test_basic_layout(self):
+        out = format_table(["a", "b"], [[1, 2.5], [3, 4.25]])
+        lines = out.splitlines()
+        assert "a" in lines[0] and "b" in lines[0]
+        assert "-" in lines[1]
+        assert "2.5000" in lines[2]
+
+    def test_title(self):
+        out = format_table(["x"], [[1]], title="My Table")
+        assert out.startswith("My Table\n")
+
+    def test_precision(self):
+        out = format_table(["x"], [[1.23456]], precision=2)
+        assert "1.23" in out and "1.2346" not in out
+
+    def test_row_length_mismatch(self):
+        with pytest.raises(ValueError):
+            format_table(["a", "b"], [[1]])
+
+    def test_none_renders_empty(self):
+        out = format_table(["a"], [[None]])
+        assert out.splitlines()[2].strip() == ""
+
+
+class TestFormatCsv:
+    def test_roundtrip(self):
+        out = format_csv(["x", "y"], [[1, 2.5], [3, 4.0]])
+        lines = out.strip().splitlines()
+        assert lines[0] == "x,y"
+        assert lines[1] == "1,2.5"
+
+    def test_float_precision(self):
+        out = format_csv(["x"], [[1.0 / 3.0]])
+        assert "0.3333333333" in out
+
+
+class TestSeriesBlock:
+    def test_layout(self):
+        out = format_series_block(
+            "p0", [0.0, 0.1], {"F1": [1.2, 1.3], "F2": [1.0, 1.1]}
+        )
+        lines = out.splitlines()
+        assert "p0" in lines[0] and "F1" in lines[0] and "F2" in lines[0]
+        assert len(lines) == 4

@@ -1,0 +1,110 @@
+"""Unit tests for global EDF at fixed frequencies."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import global_edf
+from repro.core import TaskSet
+from repro.power import PolynomialPower
+from repro.sim import validate_schedule, ViolationKind
+from tests.conftest import random_instance
+
+
+@pytest.fixture
+def power():
+    return PolynomialPower(alpha=3.0, static=0.05)
+
+
+class TestBasics:
+    def test_single_task_runs_at_release(self, power):
+        ts = TaskSet.from_tuples([(2, 10, 4)])
+        res = global_edf(ts, 1, power, 1.0)
+        segs = res.schedule.segments_of_task(0)
+        assert segs[0].start == pytest.approx(2.0)
+        assert sum(s.work for s in segs) == pytest.approx(4.0)
+        assert res.all_deadlines_met
+
+    def test_work_always_completes(self, power):
+        tasks, _ = random_instance(0, n=10)
+        res = global_edf(tasks, 2, power, 2.0)
+        np.testing.assert_allclose(
+            res.schedule.work_completed(), tasks.works, rtol=1e-6
+        )
+
+    def test_earliest_deadline_runs_first(self, power):
+        # two ready tasks, one core: the earlier deadline executes first
+        ts = TaskSet.from_tuples([(0, 20, 2), (0, 5, 2)])
+        res = global_edf(ts, 1, power, 1.0)
+        first = min(res.schedule, key=lambda s: s.start)
+        assert first.task_id == 1
+
+    def test_preemption_on_urgent_release(self, power):
+        # task 0 starts, task 1 (tighter) releases mid-flight and preempts
+        ts = TaskSet.from_tuples([(0, 100, 10), (2, 6, 3)])
+        res = global_edf(ts, 1, power, 1.0)
+        segs0 = res.schedule.segments_of_task(0)
+        assert len(segs0) >= 2  # preempted
+        assert res.all_deadlines_met
+
+    def test_per_task_frequencies(self, power):
+        ts = TaskSet.from_tuples([(0, 10, 4), (0, 10, 4)])
+        res = global_edf(ts, 2, power, np.array([1.0, 2.0]))
+        f_by_task = {
+            s.task_id: s.frequency for s in res.schedule
+        }
+        assert f_by_task[0] == 1.0
+        assert f_by_task[1] == 2.0
+
+    def test_no_core_conflicts_or_parallelism(self, power):
+        tasks, _ = random_instance(3, n=12)
+        res = global_edf(tasks, 3, power, 3.0)
+        issues = validate_schedule(res.schedule, check_completion=False)
+        hard = [
+            v
+            for v in issues
+            if v.kind in (ViolationKind.CORE_CONFLICT, ViolationKind.TASK_PARALLEL)
+        ]
+        assert hard == []
+
+
+class TestDeadlines:
+    def test_fast_enough_meets_all(self, power):
+        tasks, _ = random_instance(1, n=8)
+        res = global_edf(tasks, 8, power, float(tasks.intensities.max() * 2))
+        assert res.all_deadlines_met
+
+    def test_too_slow_misses(self, power):
+        ts = TaskSet.from_tuples([(0, 4, 4)])  # needs f >= 1
+        res = global_edf(ts, 1, power, 0.5)
+        assert res.deadline_misses == (0,)
+        # but the work still completes (soft deadline)
+        assert res.schedule.work_completed(0) == pytest.approx(4.0)
+
+    def test_contention_misses(self, power):
+        # three simultaneous tight tasks on one core at their own intensity
+        ts = TaskSet.from_tuples([(0, 4, 4), (0, 4, 4), (0, 4, 4)])
+        res = global_edf(ts, 1, power, 1.0)
+        assert len(res.deadline_misses) == 2  # only one can finish in time
+
+    def test_finish_time_reported(self, power):
+        ts = TaskSet.from_tuples([(0, 10, 4)])
+        res = global_edf(ts, 1, power, 2.0)
+        assert res.finish_time == pytest.approx(2.0)
+
+
+class TestValidation:
+    def test_rejects_bad_m(self, power):
+        ts = TaskSet.from_tuples([(0, 4, 1)])
+        with pytest.raises(ValueError):
+            global_edf(ts, 0, power, 1.0)
+
+    def test_rejects_nonpositive_frequency(self, power):
+        ts = TaskSet.from_tuples([(0, 4, 1)])
+        with pytest.raises(ValueError):
+            global_edf(ts, 1, power, 0.0)
+
+    def test_energy_accounting(self, power):
+        ts = TaskSet.from_tuples([(0, 10, 4)])
+        res = global_edf(ts, 1, power, 2.0)
+        # 2 time units at f=2: (8 + 0.05) * 2
+        assert res.energy == pytest.approx((8 + 0.05) * 2)

@@ -1,0 +1,53 @@
+"""Unit tests for the naive EDF-based baselines."""
+
+import pytest
+
+from repro.baselines import max_speed_baseline, stretch_baseline
+from repro.core import SubintervalScheduler, TaskSet
+from repro.power import PolynomialPower
+from tests.conftest import random_instance
+
+
+@pytest.fixture
+def power():
+    return PolynomialPower(alpha=3.0, static=0.1)
+
+
+class TestMaxSpeed:
+    def test_meets_deadlines_by_default(self, power):
+        tasks, _ = random_instance(0, n=10)
+        res = max_speed_baseline(tasks, 4, power)
+        assert res.all_deadlines_met
+
+    def test_explicit_frequency_respected(self, power):
+        ts = TaskSet.from_tuples([(0, 10, 4)])
+        res = max_speed_baseline(ts, 1, power, frequency=4.0)
+        assert all(s.frequency == 4.0 for s in res.schedule)
+
+    def test_wastes_energy_vs_f2(self, power):
+        tasks, _ = random_instance(1, n=10)
+        naive = max_speed_baseline(tasks, 4, power)
+        smart = SubintervalScheduler(tasks, 4, power).final("der")
+        assert smart.energy < naive.energy
+
+
+class TestStretch:
+    def test_uncontended_is_reasonable(self, power):
+        # one task: stretch = run at intensity = near-ideal for p0 small
+        ts = TaskSet.from_tuples([(0, 10, 5)])
+        res = stretch_baseline(ts, 1, power)
+        assert res.all_deadlines_met
+        assert all(s.frequency == pytest.approx(0.5) for s in res.schedule)
+
+    def test_contention_causes_misses(self, power):
+        # 3 tight simultaneous tasks, 1 core, each stretched to intensity 1
+        ts = TaskSet.from_tuples([(0, 4, 4), (0, 4, 4), (0, 4, 4)])
+        res = stretch_baseline(ts, 1, power)
+        assert len(res.deadline_misses) >= 1
+
+    def test_paper_scheduler_never_misses_where_stretch_does(self, power):
+        from repro.sim import assert_valid
+
+        ts = TaskSet.from_tuples([(0, 4, 4), (0, 4, 4), (0, 4, 4)])
+        res = SubintervalScheduler(ts, 1, power).final("der")
+        assert_valid(res.schedule)  # completes everything inside windows

@@ -1,0 +1,55 @@
+"""Unit tests for §VI-D core-count selection."""
+
+import numpy as np
+import pytest
+
+from repro.core import TaskSet, SubintervalScheduler, select_core_count
+from repro.power import PolynomialPower
+from tests.conftest import random_instance
+
+
+class TestSelectCoreCount:
+    def test_best_never_worse_than_full(self):
+        tasks, power = random_instance(3, n=10, p0=0.3)
+        sel = select_core_count(tasks, 8, power)
+        full = SubintervalScheduler(tasks, 8, power).final("der")
+        assert sel.best.energy <= full.energy + 1e-12
+
+    def test_profile_covers_range(self):
+        tasks, power = random_instance(4, n=8)
+        sel = select_core_count(tasks, 5, power)
+        assert list(sel.counts) == [1, 2, 3, 4, 5]
+        assert len(sel.energies) == 5
+        assert sel.profile()[0][0] == 1
+
+    def test_best_matches_argmin(self):
+        tasks, power = random_instance(5, n=10)
+        sel = select_core_count(tasks, 6, power)
+        idx = int(np.argmin(sel.energies))
+        assert sel.best_m == sel.counts[idx]
+        assert sel.best.energy == pytest.approx(sel.energies[idx])
+
+    def test_single_light_task_prefers_one_core(self):
+        # one slack task: extra cores can't help (they'd sleep anyway), so
+        # energies are equal and the tie breaks to m = 1
+        power = PolynomialPower(alpha=3.0, static=0.2)
+        tasks = TaskSet.from_tuples([(0, 10, 3)])
+        sel = select_core_count(tasks, 4, power)
+        assert sel.best_m == 1
+
+    def test_m_min_respected(self):
+        tasks, power = random_instance(6, n=10)
+        sel = select_core_count(tasks, 6, power, m_min=3)
+        assert list(sel.counts) == [3, 4, 5, 6]
+
+    def test_invalid_range(self):
+        tasks, power = random_instance(6, n=4)
+        with pytest.raises(ValueError):
+            select_core_count(tasks, 2, power, m_min=3)
+        with pytest.raises(ValueError):
+            select_core_count(tasks, 0, power)
+
+    def test_method_even_supported(self):
+        tasks, power = random_instance(8, n=10)
+        sel = select_core_count(tasks, 4, power, method="even")
+        assert sel.best.kind == "F1"

@@ -1,0 +1,89 @@
+"""Unit tests for frequency refinement and the Fig. 3 effect."""
+
+import numpy as np
+import pytest
+
+from repro.core import best_single_frequency, refine_frequencies
+from repro.power import PolynomialPower
+from repro.workloads import fig3_power
+
+
+class TestFig3Effect:
+    def test_paper_numbers(self):
+        power = fig3_power()  # f^2 + 0.25
+        f, e = best_single_frequency(work=2.0, available_time=5.0, power=power)
+        assert f == pytest.approx(0.5)
+        assert e == pytest.approx(2.0)
+        # using all 5 time units (f = 0.4) is worse: 2.05
+        e_stretch = power.energy(2.0, 0.4)
+        assert e_stretch == pytest.approx(2.05)
+        assert e < e_stretch
+
+    def test_tight_task_not_clamped(self):
+        power = fig3_power()
+        f, _ = best_single_frequency(2.0, 2.0, power)
+        assert f == pytest.approx(1.0)
+
+    def test_invalid_inputs(self):
+        power = fig3_power()
+        with pytest.raises(ValueError):
+            best_single_frequency(0.0, 1.0, power)
+        with pytest.raises(ValueError):
+            best_single_frequency(1.0, 0.0, power)
+
+
+class TestRefineFrequencies:
+    def test_vectorized_matches_scalar(self):
+        power = PolynomialPower(alpha=3.0, static=0.05)
+        works = np.array([2.0, 5.0, 1.0])
+        avail = np.array([10.0, 5.0, 0.5])
+        out = refine_frequencies(works, avail, power)
+        for i in range(3):
+            f, e = best_single_frequency(works[i], avail[i], power)
+            assert out.frequencies[i] == pytest.approx(f)
+            assert out.energies[i] == pytest.approx(e)
+
+    def test_used_time_never_exceeds_available(self, rng):
+        power = PolynomialPower(alpha=3.0, static=0.2)
+        works = rng.uniform(1, 30, 50)
+        avail = rng.uniform(0.5, 60, 50)
+        out = refine_frequencies(works, avail, power)
+        assert np.all(out.used_times <= avail + 1e-12)
+        # work conservation: f * used == C
+        np.testing.assert_allclose(out.frequencies * out.used_times, works)
+
+    def test_clamped_flag(self):
+        power = PolynomialPower(alpha=2.0, static=0.25)  # f_crit = 0.5
+        out = refine_frequencies(
+            np.array([1.0, 4.0]), np.array([10.0, 4.0]), power
+        )
+        assert out.clamped[0]  # slack task clamped to f_crit
+        assert not out.clamped[1]  # tight task at C/A = 1.0
+
+    def test_zero_static_never_clamps(self, rng, cube_power):
+        works = rng.uniform(1, 10, 20)
+        avail = rng.uniform(1, 10, 20)
+        out = refine_frequencies(works, avail, cube_power)
+        assert not out.clamped.any()
+        np.testing.assert_allclose(out.used_times, avail)
+
+    def test_zero_work_tasks_ignored(self):
+        power = PolynomialPower(alpha=3.0, static=0.1)
+        out = refine_frequencies(np.array([0.0, 2.0]), np.array([5.0, 5.0]), power)
+        assert out.used_times[0] == 0.0
+        assert out.energies[0] == 0.0
+
+    def test_positive_work_zero_time_raises(self):
+        power = PolynomialPower(alpha=3.0, static=0.1)
+        with pytest.raises(ValueError, match="zero available time"):
+            refine_frequencies(np.array([2.0]), np.array([0.0]), power)
+
+    def test_shape_mismatch_raises(self):
+        power = PolynomialPower(alpha=3.0, static=0.1)
+        with pytest.raises(ValueError, match="same shape"):
+            refine_frequencies(np.zeros(2), np.ones(3), power)
+
+    def test_total_energy(self):
+        power = PolynomialPower(alpha=3.0, static=0.0)
+        out = refine_frequencies(np.array([2.0, 2.0]), np.array([4.0, 4.0]), power)
+        assert out.total_energy == pytest.approx(float(out.energies.sum()))

@@ -1,0 +1,100 @@
+"""Unit tests for the unlimited-core ideal case S^O."""
+
+import numpy as np
+import pytest
+
+from repro.core import TaskSet, Timeline, solve_ideal
+from repro.power import PolynomialPower
+
+
+class TestIdealFrequencies:
+    def test_six_task_frequencies_match_paper(self, six_tasks, cube_power):
+        ideal = solve_ideal(six_tasks, cube_power)
+        np.testing.assert_allclose(
+            ideal.frequencies, [4 / 5, 7 / 8, 2 / 3, 1 / 2, 5 / 6, 3 / 5]
+        )
+
+    def test_zero_static_gives_intensity(self, cube_power):
+        ts = TaskSet.from_tuples([(0, 10, 5)])
+        ideal = solve_ideal(ts, cube_power)
+        assert ideal.frequencies[0] == pytest.approx(0.5)
+
+    def test_static_power_clamps_at_critical(self):
+        # fig 3: p = f^2 + 0.25 -> f_crit = 0.5; slack task wants 0.2 -> clamped
+        power = PolynomialPower(alpha=2.0, static=0.25)
+        ts = TaskSet.from_tuples([(0, 10, 2)])
+        ideal = solve_ideal(ts, power)
+        assert ideal.frequencies[0] == pytest.approx(0.5)
+        # tight task above critical is unaffected
+        ts2 = TaskSet.from_tuples([(0, 2, 2)])
+        assert solve_ideal(ts2, power).frequencies[0] == pytest.approx(1.0)
+
+    def test_frequency_at_least_critical(self, rng, static_power):
+        from tests.conftest import random_instance
+
+        tasks, power = random_instance(7, n=15)
+        ideal = solve_ideal(tasks, power)
+        assert np.all(ideal.frequencies >= power.critical_frequency() - 1e-12)
+
+    def test_durations_fit_windows(self, six_tasks, cube_power):
+        ideal = solve_ideal(six_tasks, cube_power)
+        assert np.all(ideal.durations <= six_tasks.windows + 1e-12)
+        assert np.all(ideal.ends <= six_tasks.deadlines + 1e-12)
+
+
+class TestIdealEnergy:
+    def test_energy_formula(self, cube_power):
+        ts = TaskSet.from_tuples([(0, 10, 5)])
+        ideal = solve_ideal(ts, cube_power)
+        # E = C * f^(alpha-1) = 5 * 0.25
+        assert ideal.total_energy == pytest.approx(5 * 0.5**2)
+
+    def test_energy_with_static(self):
+        power = PolynomialPower(alpha=2.0, static=0.25)
+        ts = TaskSet.from_tuples([(0, 10, 2)])
+        ideal = solve_ideal(ts, power)
+        # fig 3: optimum is f=0.5 over 4 time units: E = (0.25+0.25)*4 = 2.0
+        assert ideal.total_energy == pytest.approx(2.0)
+
+    def test_energy_is_sum_of_task_energies(self, six_tasks, cube_power):
+        ideal = solve_ideal(six_tasks, cube_power)
+        assert ideal.total_energy == pytest.approx(ideal.energies.sum())
+
+
+class TestIdealWindows:
+    def test_window(self, six_tasks, cube_power):
+        ideal = solve_ideal(six_tasks, cube_power)
+        # with p0=0 every task stretches over its full window
+        for i in range(len(six_tasks)):
+            lo, hi = ideal.window(i)
+            assert lo == six_tasks.releases[i]
+            assert hi == pytest.approx(six_tasks.deadlines[i])
+
+    def test_overlap_with_full_containment(self, cube_power):
+        ts = TaskSet.from_tuples([(0, 10, 5)])
+        ideal = solve_ideal(ts, cube_power)
+        np.testing.assert_allclose(ideal.overlap_with(2, 4), [2.0])
+
+    def test_overlap_with_disjoint(self, cube_power):
+        ts = TaskSet.from_tuples([(0, 4, 2)])
+        ideal = solve_ideal(ts, cube_power)
+        np.testing.assert_allclose(ideal.overlap_with(6, 8), [0.0])
+
+    def test_overlap_with_partial(self):
+        # slack task with static power: window [0,10] but only executes [0,4]
+        power = PolynomialPower(alpha=2.0, static=0.25)
+        ts = TaskSet.from_tuples([(0, 10, 2)])
+        ideal = solve_ideal(ts, power)
+        np.testing.assert_allclose(ideal.overlap_with(2, 6), [2.0])  # only [2,4]
+
+    def test_subinterval_times_matrix(self, six_tasks, cube_power):
+        ideal = solve_ideal(six_tasks, cube_power)
+        tl = Timeline(six_tasks)
+        o = ideal.subinterval_times(tl)
+        assert o.shape == (6, 11)
+        # row sums reproduce total execution times
+        np.testing.assert_allclose(o.sum(axis=1), ideal.durations)
+        # per-paper DERs during [8,10]: times are all 2.0 for tasks 0..4
+        j = tl.locate(8.0)
+        np.testing.assert_allclose(o[:5, j], 2.0)
+        assert o[5, j] == 0.0

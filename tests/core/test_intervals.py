@@ -1,0 +1,121 @@
+"""Unit tests for subinterval construction and overlap analysis."""
+
+import numpy as np
+import pytest
+
+from repro.core import TaskSet, Timeline, build_timeline
+
+
+@pytest.fixture
+def simple_timeline() -> Timeline:
+    # tasks (R, D, C): windows [0,4], [2,6], [2,4]
+    return Timeline(TaskSet.from_tuples([(0, 4, 1), (2, 6, 1), (2, 4, 1)]))
+
+
+class TestTimelineConstruction:
+    def test_boundaries_are_distinct_event_times(self, simple_timeline):
+        np.testing.assert_array_equal(simple_timeline.boundaries, [0.0, 2.0, 4.0, 6.0])
+
+    def test_subinterval_count(self, simple_timeline):
+        assert len(simple_timeline) == 3
+
+    def test_subintervals_partition_horizon(self, simple_timeline):
+        subs = list(simple_timeline)
+        assert subs[0].start == 0.0 and subs[-1].end == 6.0
+        for a, b in zip(subs, subs[1:]):
+            assert a.end == b.start
+
+    def test_six_task_example_gives_eleven_subintervals(self, six_tasks):
+        tl = Timeline(six_tasks)
+        assert len(tl) == 11
+        np.testing.assert_array_equal(tl.boundaries, 2.0 * np.arange(12))
+
+    def test_build_timeline_accepts_tuples(self):
+        tl = build_timeline([(0, 4, 1), (2, 6, 1)])
+        assert len(tl) == 3
+
+
+class TestOverlap:
+    def test_overlap_membership(self, simple_timeline):
+        s0, s1, s2 = list(simple_timeline)
+        assert s0.task_ids == (0,)
+        assert s1.task_ids == (0, 1, 2)
+        assert s2.task_ids == (1,)
+
+    def test_overlap_counts(self, simple_timeline):
+        np.testing.assert_array_equal(simple_timeline.overlap_counts, [1, 3, 1])
+
+    def test_coverage_matrix_matches_subintervals(self, simple_timeline):
+        cov = simple_timeline.coverage
+        for sub in simple_timeline:
+            np.testing.assert_array_equal(
+                np.flatnonzero(cov[:, sub.index]), sub.task_ids
+            )
+
+    def test_coverage_readonly(self, simple_timeline):
+        with pytest.raises(ValueError):
+            simple_timeline.coverage[0, 0] = False
+
+    def test_heavy_light_classification(self, simple_timeline):
+        heavy = simple_timeline.heavy(2)
+        light = simple_timeline.light(2)
+        assert [s.index for s in heavy] == [1]
+        assert [s.index for s in light] == [0, 2]
+        assert simple_timeline.n_heavy(2) == 1
+        # with 3 cores nothing is heavy
+        assert simple_timeline.heavy(3) == []
+
+    def test_heavy_rejects_bad_m(self, simple_timeline):
+        with pytest.raises(ValueError):
+            simple_timeline.heavy(0)
+
+    def test_six_task_heavy_intervals_match_paper(self, six_tasks):
+        tl = Timeline(six_tasks)
+        heavy = tl.heavy(4)
+        assert [(s.start, s.end) for s in heavy] == [(8.0, 10.0), (12.0, 14.0)]
+        assert all(s.n_overlapping == 5 for s in heavy)
+
+    def test_max_overlap(self, six_tasks):
+        assert Timeline(six_tasks).max_overlap() == 5
+
+    def test_subintervals_of_task(self, simple_timeline):
+        subs = simple_timeline.subintervals_of(1)
+        assert [s.index for s in subs] == [1, 2]
+
+    def test_contains(self, simple_timeline):
+        assert 0 in simple_timeline[0]
+        assert 1 not in simple_timeline[0]
+
+
+class TestLocate:
+    def test_interior_point(self, simple_timeline):
+        assert simple_timeline.locate(1.0) == 0
+        assert simple_timeline.locate(3.0) == 1
+
+    def test_boundary_belongs_to_right_subinterval(self, simple_timeline):
+        assert simple_timeline.locate(2.0) == 1
+
+    def test_final_boundary(self, simple_timeline):
+        assert simple_timeline.locate(6.0) == 2
+
+    def test_outside_raises(self, simple_timeline):
+        with pytest.raises(ValueError):
+            simple_timeline.locate(-0.5)
+        with pytest.raises(ValueError):
+            simple_timeline.locate(6.5)
+
+
+class TestProperties:
+    def test_lengths(self, simple_timeline):
+        np.testing.assert_array_equal(simple_timeline.lengths, [2.0, 2.0, 2.0])
+
+    def test_repr(self, simple_timeline):
+        assert "3 subintervals" in repr(simple_timeline)
+
+    def test_single_task(self):
+        tl = Timeline(TaskSet.from_tuples([(1, 3, 1)]))
+        assert len(tl) == 1
+        assert tl[0].task_ids == (0,)
+
+    def test_feasible_max_load(self, simple_timeline):
+        assert simple_timeline.feasible_max_load(1)

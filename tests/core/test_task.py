@@ -1,0 +1,134 @@
+"""Unit tests for the task model."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core import Task, TaskSet
+
+
+class TestTask:
+    def test_basic_construction(self):
+        t = Task(release=1.0, deadline=5.0, work=2.0)
+        assert t.window == 4.0
+        assert t.intensity == 0.5
+
+    def test_as_tuple_roundtrip(self):
+        t = Task(1.0, 5.0, 2.0)
+        assert t.as_tuple() == (1.0, 5.0, 2.0)
+
+    def test_deadline_must_exceed_release(self):
+        with pytest.raises(ValueError, match="deadline"):
+            Task(release=5.0, deadline=5.0, work=1.0)
+        with pytest.raises(ValueError, match="deadline"):
+            Task(release=5.0, deadline=4.0, work=1.0)
+
+    def test_work_must_be_positive(self):
+        with pytest.raises(ValueError, match="work"):
+            Task(0.0, 1.0, 0.0)
+        with pytest.raises(ValueError, match="work"):
+            Task(0.0, 1.0, -1.0)
+
+    def test_nonfinite_rejected(self):
+        with pytest.raises(ValueError):
+            Task(math.nan, 1.0, 1.0)
+        with pytest.raises(ValueError):
+            Task(0.0, math.inf, 1.0)
+        with pytest.raises(ValueError):
+            Task(0.0, 1.0, math.nan)
+
+    def test_label_uses_name_then_index(self):
+        assert Task(0, 1, 1, name="video").label(3) == "video"
+        assert Task(0, 1, 1).label(3) == "τ4"
+        assert "R=0" in Task(0, 1, 1).label()
+
+    def test_frozen(self):
+        t = Task(0.0, 1.0, 1.0)
+        with pytest.raises(AttributeError):
+            t.work = 2.0  # type: ignore[misc]
+
+
+class TestTaskSet:
+    def test_from_tuples(self):
+        ts = TaskSet.from_tuples([(0, 4, 2), (1, 5, 3)])
+        assert len(ts) == 2
+        assert ts[0].work == 2.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError, match="at least one"):
+            TaskSet([])
+
+    def test_type_check(self):
+        with pytest.raises(TypeError):
+            TaskSet([(0, 1, 1)])  # raw tuple, not Task
+
+    def test_vectorized_views(self):
+        ts = TaskSet.from_tuples([(0, 4, 2), (1, 5, 2)])
+        np.testing.assert_array_equal(ts.releases, [0.0, 1.0])
+        np.testing.assert_array_equal(ts.deadlines, [4.0, 5.0])
+        np.testing.assert_array_equal(ts.works, [2.0, 2.0])
+        np.testing.assert_array_equal(ts.windows, [4.0, 4.0])
+        np.testing.assert_allclose(ts.intensities, [0.5, 0.5])
+
+    def test_views_are_readonly(self):
+        ts = TaskSet.from_tuples([(0, 4, 2)])
+        with pytest.raises(ValueError):
+            ts.releases[0] = 9.0
+
+    def test_horizon(self):
+        ts = TaskSet.from_tuples([(3, 9, 1), (1, 4, 1), (2, 11, 1)])
+        assert ts.horizon == (1.0, 11.0)
+
+    def test_total_work(self):
+        ts = TaskSet.from_tuples([(0, 4, 2), (1, 5, 3)])
+        assert ts.total_work == 5.0
+
+    def test_event_times_distinct_sorted(self):
+        ts = TaskSet.from_tuples([(0, 4, 1), (0, 6, 1), (4, 6, 1)])
+        np.testing.assert_array_equal(ts.event_times(), [0.0, 4.0, 6.0])
+
+    def test_covers(self):
+        ts = TaskSet.from_tuples([(0, 4, 1), (2, 6, 1)])
+        np.testing.assert_array_equal(ts.covers(2, 4), [True, True])
+        np.testing.assert_array_equal(ts.covers(0, 2), [True, False])
+        np.testing.assert_array_equal(ts.covers(4, 6), [False, True])
+
+    def test_slice_returns_taskset(self):
+        ts = TaskSet.from_tuples([(0, 4, 1), (1, 5, 1), (2, 6, 1)])
+        sub = ts[:2]
+        assert isinstance(sub, TaskSet)
+        assert len(sub) == 2
+
+    def test_equality_and_hash(self):
+        a = TaskSet.from_tuples([(0, 4, 1)])
+        b = TaskSet.from_tuples([(0, 4, 1)])
+        assert a == b
+        assert hash(a) == hash(b)
+
+    def test_shifted(self):
+        ts = TaskSet.from_tuples([(0, 4, 1)]).shifted(10.0)
+        assert ts[0].release == 10.0
+        assert ts[0].deadline == 14.0
+
+    def test_scaled(self):
+        ts = TaskSet.from_tuples([(0, 4, 2)]).scaled(time_scale=2.0, work_scale=3.0)
+        assert ts[0].deadline == 8.0
+        assert ts[0].work == 6.0
+
+    def test_scaled_rejects_nonpositive(self):
+        ts = TaskSet.from_tuples([(0, 4, 2)])
+        with pytest.raises(ValueError):
+            ts.scaled(time_scale=0.0)
+
+    def test_from_arrays_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            TaskSet.from_arrays(np.zeros(2), np.ones(3), np.ones(2))
+
+    def test_from_arrays_requires_1d(self):
+        with pytest.raises(ValueError):
+            TaskSet.from_arrays(np.zeros((2, 1)), np.ones((2, 1)), np.ones((2, 1)))
+
+    def test_repr_truncates(self):
+        ts = TaskSet.from_tuples([(i, i + 1, 1) for i in range(10)])
+        assert "10 tasks" in repr(ts)

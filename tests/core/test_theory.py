@@ -1,0 +1,60 @@
+"""Tests for the executable §V bound certificates."""
+
+import pytest
+
+from repro.core import SubintervalScheduler
+from repro.core.theory import certify_instance, intermediate_even_bound
+from repro.optimal import solve_optimal
+from repro.power import PolynomialPower
+from tests.conftest import random_instance
+
+
+class TestEvenBound:
+    def test_formula(self, six_tasks, cube_power):
+        sch = SubintervalScheduler(six_tasks, 4, cube_power)
+        # n_max = 5, m = 4, alpha = 3 -> (5/4)^2 * E^O
+        expected = (5 / 4) ** 2 * sch.ideal_energy
+        assert intermediate_even_bound(sch) == pytest.approx(expected)
+
+    def test_no_contention_bound_is_ideal(self, cube_power):
+        tasks, power = random_instance(0, n=3)
+        sch = SubintervalScheduler(tasks, 8, power)
+        assert intermediate_even_bound(sch) == pytest.approx(sch.ideal_energy)
+
+
+class TestCertify:
+    @pytest.mark.parametrize("seed", range(6))
+    @pytest.mark.parametrize("p0", [0.0, 0.1, 0.3])
+    def test_guaranteed_relations_hold(self, seed, p0):
+        tasks, _ = random_instance(seed, n=14)
+        power = PolynomialPower(alpha=3.0, static=p0)
+        report = certify_instance(tasks, 4, power)
+        assert report.all_guaranteed_hold, report.summary()
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_with_optimal_energy(self, seed):
+        tasks, power = random_instance(seed, n=10)
+        opt = solve_optimal(tasks, 4, power)
+        report = certify_instance(tasks, 4, power, optimal_energy=opt.energy)
+        assert report.all_guaranteed_hold
+        assert report.holds_optimal_lower is True
+        assert report.ideal_below_optimal is not None
+
+    def test_ideal_below_optimal_at_zero_static(self):
+        tasks, _ = random_instance(1, n=12)
+        power = PolynomialPower(alpha=3.0, static=0.0)
+        opt = solve_optimal(tasks, 4, power)
+        report = certify_instance(tasks, 4, power, optimal_energy=opt.energy)
+        # the unlimited-core relaxation lower-bounds when p0 = 0
+        assert report.ideal_below_optimal is True
+
+    def test_summary(self, six_tasks, cube_power):
+        report = certify_instance(six_tasks, 4, cube_power)
+        text = report.summary()
+        assert text.startswith("[OK]")
+        assert "bound=" in text
+
+    def test_optional_fields_none_without_optimal(self, six_tasks, cube_power):
+        report = certify_instance(six_tasks, 4, cube_power)
+        assert report.holds_optimal_lower is None
+        assert report.ideal_below_optimal is None

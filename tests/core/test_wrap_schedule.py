@@ -1,0 +1,117 @@
+"""Unit tests for Algorithm 1 (McNaughton wrap-around packing)."""
+
+import pytest
+
+from repro.core import wrap_schedule
+
+
+def _by_task(slots):
+    out = {}
+    for s in slots:
+        out.setdefault(s.task_id, []).append(s)
+    return out
+
+
+def _assert_no_core_conflicts(slots):
+    by_core = {}
+    for s in slots:
+        by_core.setdefault(s.core, []).append(s)
+    for segs in by_core.values():
+        segs.sort(key=lambda s: s.start)
+        for a, b in zip(segs, segs[1:]):
+            assert b.start >= a.end - 1e-9
+
+
+def _assert_no_task_parallelism(slots):
+    for segs in _by_task(slots).values():
+        segs.sort(key=lambda s: s.start)
+        for a, b in zip(segs, segs[1:]):
+            assert b.start >= a.end - 1e-9
+
+
+class TestBasicPacking:
+    def test_single_task_single_core(self):
+        slots = wrap_schedule(0.0, 10.0, {0: 4.0}, 1)
+        assert len(slots) == 1
+        assert slots[0].core == 0
+        assert slots[0].duration == pytest.approx(4.0)
+
+    def test_fill_one_core_then_next(self):
+        slots = wrap_schedule(0.0, 4.0, {0: 4.0, 1: 4.0}, 2)
+        assert {s.core for s in slots} == {0, 1}
+        for s in slots:
+            assert s.duration == pytest.approx(4.0)
+
+    def test_wrap_splits_task(self):
+        # 3 tasks of 3 units into [0, 4] on 3 cores: task 1 wraps
+        slots = wrap_schedule(0.0, 4.0, {0: 3.0, 1: 3.0, 2: 3.0}, 3)
+        per = _by_task(slots)
+        assert len(per[0]) == 1
+        assert len(per[1]) == 2  # wrapped across cores 0 and 1
+        durations = {tid: sum(s.duration for s in segs) for tid, segs in per.items()}
+        for tid in (0, 1, 2):
+            assert durations[tid] == pytest.approx(3.0)
+        _assert_no_core_conflicts(slots)
+        _assert_no_task_parallelism(slots)
+
+    def test_wrapped_task_pieces_dont_overlap_in_time(self):
+        slots = wrap_schedule(0.0, 4.0, {0: 3.0, 1: 3.0}, 2)
+        per = _by_task(slots)
+        segs = sorted(per[1], key=lambda s: s.start)
+        assert len(segs) == 2
+        # head on next core ends before tail on previous core starts
+        assert segs[0].end <= segs[1].start + 1e-12
+
+    def test_zero_allocations_skipped(self):
+        slots = wrap_schedule(0.0, 4.0, {0: 0.0, 1: 2.0}, 1)
+        assert {s.task_id for s in slots} == {1}
+
+    def test_paper_even_allocation_8_10(self, six_tasks):
+        # five tasks, 8/5 each, 4 cores over [8, 10] (paper Fig. 4(b))
+        alloc = {i: 8 / 5 for i in range(5)}
+        slots = wrap_schedule(8.0, 10.0, alloc, 4)
+        _assert_no_core_conflicts(slots)
+        _assert_no_task_parallelism(slots)
+        per = _by_task(slots)
+        for tid in range(5):
+            assert sum(s.duration for s in per[tid]) == pytest.approx(8 / 5)
+        # capacity exactly filled: 5 * 8/5 = 8 = 4 cores x 2
+        assert sum(s.duration for s in slots) == pytest.approx(8.0)
+
+
+class TestValidation:
+    def test_rejects_over_length_allocation(self):
+        with pytest.raises(ValueError, match="exceeds subinterval length"):
+            wrap_schedule(0.0, 2.0, {0: 3.0}, 2)
+
+    def test_rejects_over_capacity(self):
+        with pytest.raises(ValueError, match="capacity"):
+            wrap_schedule(0.0, 2.0, {0: 2.0, 1: 2.0, 2: 2.0}, 2)
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError, match="negative"):
+            wrap_schedule(0.0, 2.0, {0: -1.0}, 1)
+
+    def test_rejects_empty_interval(self):
+        with pytest.raises(ValueError, match="positive length"):
+            wrap_schedule(2.0, 2.0, {0: 0.0}, 1)
+
+    def test_rejects_bad_m(self):
+        with pytest.raises(ValueError, match="m must be"):
+            wrap_schedule(0.0, 2.0, {0: 1.0}, 0)
+
+    def test_exact_capacity_fits(self):
+        # total exactly m * delta, every task exactly delta
+        slots = wrap_schedule(0.0, 3.0, {0: 3.0, 1: 3.0, 2: 3.0}, 3)
+        _assert_no_core_conflicts(slots)
+        assert sum(s.duration for s in slots) == pytest.approx(9.0)
+
+    def test_sequence_input(self):
+        slots = wrap_schedule(0.0, 4.0, [(5, 2.0), (9, 1.0)], 1)
+        assert [s.task_id for s in slots] == [5, 9]
+
+    def test_slots_within_interval(self):
+        slots = wrap_schedule(1.0, 5.0, {0: 4.0, 1: 3.0, 2: 1.0}, 2)
+        for s in slots:
+            assert s.start >= 1.0 - 1e-12
+            assert s.end <= 5.0 + 1e-12

@@ -1,0 +1,99 @@
+"""Tests for the ablation experiments (small rep counts)."""
+
+import numpy as np
+import pytest
+
+from repro.core import SubintervalScheduler, Timeline, allocate_proportional
+from repro.experiments import (
+    ablation_der,
+    ablation_online,
+    ablation_switching,
+    ablation_two_level,
+)
+from tests.conftest import random_instance
+
+
+class TestAllocateProportional:
+    def test_matches_even_with_equal_weights(self, six_tasks):
+        tl = Timeline(six_tasks)
+        sub = tl[tl.locate(8.0)]
+        weights = {tid: 1.0 for tid in sub.task_ids}
+        alloc = allocate_proportional(sub, 4, weights)
+        for v in alloc.values():
+            assert v == pytest.approx(8 / 5)
+
+    def test_rejects_negative_weights(self, six_tasks):
+        tl = Timeline(six_tasks)
+        sub = tl[tl.locate(8.0)]
+        with pytest.raises(ValueError, match="negative weight"):
+            allocate_proportional(sub, 4, {sub.task_ids[0]: -1.0})
+
+    def test_caps_at_length(self, six_tasks):
+        tl = Timeline(six_tasks)
+        sub = tl[tl.locate(8.0)]
+        weights = {tid: 0.0 for tid in sub.task_ids}
+        weights[sub.task_ids[0]] = 100.0
+        alloc = allocate_proportional(sub, 4, weights)
+        assert alloc[sub.task_ids[0]] == pytest.approx(sub.length)
+
+
+class TestFinalFromPlan:
+    def test_reproduces_f2(self):
+        tasks, power = random_instance(0, n=12)
+        sch = SubintervalScheduler(tasks, 4, power)
+        res = sch.final_from_plan(sch.plan("der"), kind="F2")
+        assert res.energy == pytest.approx(sch.final("der").energy)
+
+    def test_rejects_foreign_plan(self):
+        tasks_a, power = random_instance(0, n=8)
+        tasks_b, _ = random_instance(1, n=8)
+        plan_b = SubintervalScheduler(tasks_b, 4, power).plan("der")
+        sch_a = SubintervalScheduler(tasks_a, 4, power)
+        with pytest.raises(ValueError, match="different instance"):
+            sch_a.final_from_plan(plan_b)
+
+
+class TestDerAblation:
+    def test_runs_and_orders(self):
+        res = ablation_der.run(reps=3, seed=1)
+        assert set(res.mean_nec) == set(ablation_der.POLICIES)
+        # every policy is at least optimal
+        assert all(v >= 1.0 - 1e-6 for v in res.mean_nec.values())
+        # DER beats even allocation (the paper's core claim)
+        assert res.mean_nec["der"] <= res.mean_nec["even"]
+        assert "ablation" in res.format()
+        assert res.to_csv().startswith("policy,")
+
+
+class TestSwitchingAblation:
+    def test_runs_and_ranking(self):
+        res = ablation_switching.run(reps=3, seed=1)
+        assert res.ranking_preserved()
+        assert res.mean_switches["F2"] > 0
+        # adjusted energies grow with switch cost
+        for m in res.adjusted:
+            diffs = np.diff(res.adjusted[m])
+            assert np.all(diffs >= -1e-9)
+        assert "switching" in res.format()
+
+
+class TestTwoLevelAblation:
+    def test_runs(self):
+        res = ablation_two_level.run(reps=2, task_counts=(5, 15))
+        assert res.round_up.shape == (2,)
+        assert np.all(res.round_up > 0)
+        assert np.all(res.two_level > 0)
+        assert "XScale" in res.format()
+        # the known finding: round-up wins on the XScale table
+        assert np.all(res.round_up <= res.two_level * (1 + 1e-9))
+
+
+class TestOnlineAblation:
+    def test_runs_and_premium_nonnegative(self):
+        res = ablation_online.run(reps=2, task_counts=(10, 20))
+        # online never beats the optimal-normalized offline by construction
+        # of NEC >= 1; premium can dip slightly below 1 on ties
+        assert np.all(res.online_nec >= 1.0 - 1e-6)
+        assert np.all(res.offline_nec >= 1.0 - 1e-6)
+        assert np.all(res.mean_replans > 0)
+        assert "Online" in res.format()

@@ -1,0 +1,41 @@
+"""Tests for the Figs. 1–5 illustration generators."""
+
+import xml.etree.ElementTree as ET
+
+import pytest
+
+from repro.experiments import illustrations
+
+
+@pytest.mark.parametrize(
+    "fn",
+    [
+        illustrations.fig1_svg,
+        illustrations.fig2a_svg,
+        illustrations.fig2b_svg,
+        illustrations.fig3_svg,
+        illustrations.fig4_svg,
+        illustrations.fig5_svg,
+    ],
+)
+def test_each_figure_is_valid_svg(fn):
+    svg = fn()
+    root = ET.fromstring(svg)
+    assert root.tag.endswith("svg")
+
+
+def test_fig2b_reports_paper_optimum():
+    assert "5.0438" in illustrations.fig2b_svg()  # 155/32 + 0.2
+
+
+def test_fig4_fig5_report_paper_energies():
+    assert "33.0642" in illustrations.fig4_svg()
+    assert "31.8362" in illustrations.fig5_svg()
+
+
+def test_generate_all(tmp_path):
+    paths = illustrations.generate_all(tmp_path)
+    assert len(paths) == 6
+    for p in paths:
+        assert p.exists()
+        ET.fromstring(p.read_text())

@@ -1,0 +1,34 @@
+"""Tests for process-parallel replication (determinism across modes)."""
+
+import pytest
+
+from repro.experiments import PointSpec, run_point
+from repro.experiments.parallel import default_workers, parallel_replications
+from repro.experiments.runner import _spawn_seeds
+
+
+def test_default_workers_positive():
+    assert default_workers() >= 1
+
+
+def test_parallel_matches_serial():
+    spec = PointSpec(n_tasks=8, p0=0.1)
+    seeds = _spawn_seeds(0, 4)
+    serial = parallel_replications(spec, seeds, workers=1)
+    parallel = parallel_replications(spec, seeds, workers=2)
+    for a, b in zip(serial, parallel):
+        assert a.values == pytest.approx(b.values)
+
+
+def test_run_point_parallel_equals_serial():
+    spec = PointSpec(n_tasks=8, p0=0.1)
+    a = run_point(spec, reps=4, seed=3, workers=1)
+    b = run_point(spec, reps=4, seed=3, workers=2)
+    for k in a.mean:
+        assert a.mean[k] == pytest.approx(b.mean[k])
+
+
+def test_single_seed_short_circuits():
+    spec = PointSpec(n_tasks=6)
+    out = parallel_replications(spec, [11], workers=8)
+    assert len(out) == 1

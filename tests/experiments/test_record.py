@@ -1,0 +1,69 @@
+"""Tests for sweep persistence and regression comparison."""
+
+import pytest
+
+from repro.experiments import (
+    PointSpec,
+    compare_sweeps,
+    load_sweep,
+    save_sweep,
+    sweep,
+    sweep_from_json,
+    sweep_to_json,
+)
+
+
+@pytest.fixture(scope="module")
+def small_sweep():
+    specs = [(0.0, PointSpec(n_tasks=6, p0=0.0)), (0.2, PointSpec(n_tasks=6, p0=0.2))]
+    return sweep("test sweep", "p0", specs, reps=2, seed=0)
+
+
+class TestRoundtrip:
+    def test_json_roundtrip(self, small_sweep):
+        out = sweep_from_json(sweep_to_json(small_sweep))
+        assert out.name == small_sweep.name
+        assert out.x_values == small_sweep.x_values
+        assert out.series == small_sweep.series
+
+    def test_statistics_preserved(self, small_sweep):
+        out = sweep_from_json(sweep_to_json(small_sweep))
+        for a, b in zip(out.aggregates, small_sweep.aggregates):
+            assert a.n == b.n
+            assert a.std == b.std
+            assert a.minimum == b.minimum
+
+    def test_file_roundtrip(self, small_sweep, tmp_path):
+        p = tmp_path / "sweep.json"
+        save_sweep(small_sweep, p)
+        out = load_sweep(p)
+        assert out.series == small_sweep.series
+        # renderers still work on the reloaded object
+        assert "test sweep" in out.format()
+        assert out.to_svg().startswith("<svg")
+
+    def test_rejects_wrong_format(self):
+        with pytest.raises(ValueError, match="not a repro-sweep"):
+            sweep_from_json('{"format": "x"}')
+
+    def test_rejects_wrong_version(self):
+        with pytest.raises(ValueError, match="version"):
+            sweep_from_json('{"format": "repro-sweep", "version": 2}')
+
+
+class TestCompare:
+    def test_identical_sweeps_zero_deviation(self, small_sweep):
+        devs = compare_sweeps(small_sweep, small_sweep)
+        assert max(devs.values()) == 0.0
+
+    def test_same_seed_reruns_match(self, small_sweep):
+        specs = [(0.0, PointSpec(n_tasks=6, p0=0.0)), (0.2, PointSpec(n_tasks=6, p0=0.2))]
+        rerun = sweep("test sweep", "p0", specs, reps=2, seed=0)
+        devs = compare_sweeps(small_sweep, rerun)
+        assert max(devs.values()) < 1e-12
+
+    def test_structural_mismatch_rejected(self, small_sweep):
+        specs = [(0.1, PointSpec(n_tasks=6))]
+        other = sweep("other", "p0", specs, reps=2)
+        with pytest.raises(ValueError, match="different x values"):
+            compare_sweeps(small_sweep, other)

@@ -1,0 +1,22 @@
+"""Tests for the lightweight-claim scaling experiment."""
+
+import numpy as np
+
+from repro.experiments import scaling
+
+
+def test_scaling_runs_and_heuristic_wins():
+    res = scaling.run(reps=2, task_counts=(10, 20))
+    assert np.all(res.heuristic_s > 0)
+    assert np.all(res.optimal_s > 0)
+    # the lightweight claim: at n=20 the heuristic is at least 3x faster
+    assert res.speedup[-1] > 3.0
+    # and near-optimal in quality
+    assert np.all(res.heuristic_nec >= 1.0 - 1e-6)
+    assert np.all(res.heuristic_nec < 1.5)
+
+
+def test_format_and_csv():
+    res = scaling.run(reps=1, task_counts=(10,))
+    assert "Lightweight" in res.format()
+    assert res.to_csv().startswith("n,")

@@ -1,0 +1,81 @@
+"""End-to-end integration across subsystems on randomized instances."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import max_speed_baseline, yds_schedule
+from repro.core import SubintervalScheduler, select_core_count
+from repro.experiments import evaluate_taskset
+from repro.optimal import optimal_schedule, solve_optimal
+from repro.power import PolynomialPower, xscale_frequency_set
+from repro.sim import assert_valid, execute_schedule
+from repro.workloads import bursty_workload, paper_workload, xscale_workload
+from repro.workloads.generator import PaperWorkloadConfig
+
+
+class TestFullStack:
+    @pytest.mark.parametrize("seed", range(3))
+    def test_chain_of_dominance(self, seed):
+        """optimal <= F2-as-scheduled; heuristics all valid; baseline worst."""
+        rng = np.random.default_rng(seed)
+        tasks = paper_workload(rng, PaperWorkloadConfig(n_tasks=15))
+        power = PolynomialPower(alpha=3.0, static=0.1)
+        m = 4
+
+        opt = solve_optimal(tasks, m, power)
+        sch = SubintervalScheduler(tasks, m, power)
+        f2 = sch.final("der")
+        naive = max_speed_baseline(tasks, m, power)
+
+        assert opt.energy <= f2.energy * (1 + 1e-9)
+        assert f2.energy <= naive.energy
+
+        for sched in (optimal_schedule(opt), f2.schedule):
+            assert_valid(sched, tol=1e-5)
+            rep = execute_schedule(sched)
+            assert rep.all_deadlines_met
+
+    def test_bursty_workload_survives_pipeline(self, rng):
+        tasks = bursty_workload(rng, n_bursts=3, tasks_per_burst=7)
+        power = PolynomialPower(alpha=3.0, static=0.05)
+        sch = SubintervalScheduler(tasks, 4, power)
+        for res in sch.run_all().values():
+            assert_valid(res.schedule, tol=1e-7)
+        opt = solve_optimal(tasks, 4, power)
+        assert opt.energy <= sch.final("der").energy * (1 + 1e-9)
+
+    def test_xscale_full_chain(self, rng):
+        fset = xscale_frequency_set()
+        tasks = xscale_workload(rng, n_tasks=12)
+        sch = SubintervalScheduler(tasks, 4, fset.continuous_fit)
+        res = sch.final("der")
+        assert_valid(res.schedule)
+        q = fset.quantize_up(np.array(res.frequencies))
+        # planner's frequencies are physically achievable most of the time
+        assert q.feasible.mean() > 0.5
+
+    def test_core_selection_consistent_with_scheduler(self, rng):
+        tasks = paper_workload(rng, PaperWorkloadConfig(n_tasks=10))
+        power = PolynomialPower(alpha=3.0, static=0.5)
+        sel = select_core_count(tasks, 6, power)
+        direct = SubintervalScheduler(tasks, sel.best_m, power).final("der")
+        assert sel.best.energy == pytest.approx(direct.energy)
+
+    def test_uniprocessor_f2_vs_yds_with_zero_static(self, rng):
+        """On m=1, p0=0, YDS is optimal; F2 must be within its NEC band."""
+        tasks = paper_workload(rng, PaperWorkloadConfig(n_tasks=8))
+        power = PolynomialPower(alpha=3.0, static=0.0)
+        yds = yds_schedule(tasks, power)
+        f2 = SubintervalScheduler(tasks, 1, power).final("der")
+        assert yds.energy <= f2.energy * (1 + 1e-9)
+        assert f2.energy / yds.energy < 2.0  # lightweight, but not crazy
+
+    def test_evaluate_taskset_consistency(self, rng):
+        tasks = paper_workload(rng, PaperWorkloadConfig(n_tasks=10))
+        power = PolynomialPower(alpha=3.0, static=0.1)
+        sample = evaluate_taskset(tasks, 4, power)
+        sch = SubintervalScheduler(tasks, 4, power)
+        opt = solve_optimal(tasks, 4, power)
+        assert sample.values["F2"] == pytest.approx(
+            sch.final("der").energy / opt.energy, rel=1e-9
+        )

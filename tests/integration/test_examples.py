@@ -1,0 +1,48 @@
+"""Smoke tests: every example script must run cleanly end to end."""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = sorted(
+    (Path(__file__).resolve().parent.parent.parent / "examples").glob("*.py")
+)
+
+
+def test_examples_exist():
+    names = {p.name for p in EXAMPLES}
+    assert "quickstart.py" in names
+    assert len(EXAMPLES) >= 3
+
+
+@pytest.mark.parametrize("script", EXAMPLES, ids=lambda p: p.name)
+def test_example_runs(script):
+    proc = subprocess.run(
+        [sys.executable, str(script)],
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert proc.returncode == 0, proc.stderr[-2000:]
+    assert proc.stdout.strip(), "example should print something"
+
+
+def test_quickstart_reports_nec():
+    quickstart = next(p for p in EXAMPLES if p.name == "quickstart.py")
+    proc = subprocess.run(
+        [sys.executable, str(quickstart)], capture_output=True, text=True, timeout=300
+    )
+    assert "NEC" in proc.stdout
+    assert "optimal energy" in proc.stdout
+
+
+def test_paper_walkthrough_reproduces_numbers():
+    script = next(p for p in EXAMPLES if p.name == "paper_walkthrough.py")
+    proc = subprocess.run(
+        [sys.executable, str(script)], capture_output=True, text=True, timeout=300
+    )
+    assert "33.0642" in proc.stdout
+    assert "31.8362" in proc.stdout
+    assert "155/32" in proc.stdout

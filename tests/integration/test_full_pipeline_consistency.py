@@ -1,0 +1,101 @@
+"""Deep cross-subsystem consistency checks on a single rich instance.
+
+One contended workload goes through *every* path in the repository, and the
+paths must agree wherever they overlap: analytic energy = replayed energy =
+∫P(t)dt; the optimizer's demands realize as flow; the theory certificates
+hold; serialization round-trips; the practical scheduler's energy matches
+the post-hoc discrete evaluation.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    PracticalScheduler,
+    SubintervalScheduler,
+    certify_instance,
+)
+from repro.experiments import discrete_evaluation
+from repro.io import schedule_from_json, schedule_to_json
+from repro.optimal import (
+    optimal_schedule,
+    realize_demands,
+    solve_optimal,
+    verify_optimality,
+)
+from repro.power import PolynomialPower, xscale_frequency_set
+from repro.sim import assert_valid, execute_schedule, power_trace
+from repro.workloads import paper_workload, profile_taskset, xscale_workload
+from repro.workloads.generator import PaperWorkloadConfig
+
+
+@pytest.fixture(scope="module")
+def instance():
+    rng = np.random.default_rng(2024)
+    tasks = paper_workload(rng, PaperWorkloadConfig(n_tasks=18))
+    power = PolynomialPower(alpha=3.0, static=0.08)
+    return tasks, power, 4
+
+
+class TestEnergyAgreement:
+    def test_three_energy_paths_agree(self, instance):
+        tasks, power, m = instance
+        res = SubintervalScheduler(tasks, m, power).final("der")
+        analytic = res.energy
+        replayed = execute_schedule(res.schedule).total_energy
+        integrated = power_trace(res.schedule).energy
+        assert replayed == pytest.approx(analytic, rel=1e-9)
+        assert integrated == pytest.approx(analytic, rel=1e-9)
+
+    def test_serialization_preserves_everything(self, instance):
+        tasks, power, m = instance
+        res = SubintervalScheduler(tasks, m, power).final("der")
+        clone = schedule_from_json(schedule_to_json(res.schedule))
+        assert clone.total_energy() == pytest.approx(res.energy, rel=1e-12)
+        assert_valid(clone, tol=1e-6)
+
+
+class TestOptimizerAgreement:
+    def test_optimal_chain(self, instance):
+        tasks, power, m = instance
+        opt = solve_optimal(tasks, m, power)
+        # KKT certificate
+        assert verify_optimality(opt.problem, opt.x, tol=1e-2)
+        # demands realize combinatorially
+        assert realize_demands(tasks, m, opt.available_times, rtol=1e-6).feasible
+        # constructive schedule replays to the optimal energy
+        sched = optimal_schedule(opt)
+        rep = execute_schedule(sched)
+        assert rep.all_deadlines_met
+        assert rep.total_energy == pytest.approx(opt.energy, rel=1e-5)
+
+    def test_theory_certificate(self, instance):
+        tasks, power, m = instance
+        opt = solve_optimal(tasks, m, power)
+        report = certify_instance(tasks, m, power, optimal_energy=opt.energy)
+        assert report.all_guaranteed_hold
+
+
+class TestPracticalAgreement:
+    def test_practical_scheduler_matches_posthoc_evaluation(self):
+        rng = np.random.default_rng(5)
+        tasks = xscale_workload(rng, n_tasks=12)
+        fset = xscale_frequency_set()
+        deploy = PracticalScheduler(tasks, 4, fset).schedule("der")
+        if not deploy.all_deadlines_met:
+            pytest.skip("instance misses at f_max; energies not comparable")
+        posthoc = discrete_evaluation(
+            PracticalScheduler(tasks, 4, fset).planner.final("der").schedule, fset
+        )
+        assert deploy.energy == pytest.approx(posthoc.energy, rel=1e-6)
+
+
+class TestProfileConsistency:
+    def test_profile_bounds_pipeline_behaviour(self, instance):
+        tasks, power, m = instance
+        prof = profile_taskset(tasks)
+        sch = SubintervalScheduler(tasks, m, power)
+        # heavy fraction positive <=> the timeline has heavy subintervals
+        assert (prof.heavy_fraction(m) > 0) == bool(sch.timeline.heavy(m))
+        # fluid core bound never exceeds peak parallelism
+        assert prof.min_cores_fluid() <= prof.peak_parallelism

@@ -1,0 +1,100 @@
+"""Integration: the §V-D six-task worked example, end to end.
+
+Every number the paper prints for this example is asserted here — ideal
+frequencies, heavy-subinterval identification, both allocation methods'
+shares, final frequencies, and both final energies — and the resulting
+schedules are validated and replayed through the simulator.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import SubintervalScheduler
+from repro.optimal import solve_optimal
+from repro.sim import assert_valid, execute_schedule
+from repro.workloads import SIX_TASK_EXPECTED
+
+
+@pytest.fixture
+def scheduler(six_tasks, cube_power):
+    return SubintervalScheduler(six_tasks, SIX_TASK_EXPECTED["m"], cube_power)
+
+
+class TestWalkthrough:
+    def test_ideal_frequencies(self, scheduler):
+        np.testing.assert_allclose(
+            scheduler.ideal.frequencies, SIX_TASK_EXPECTED["ideal_frequencies"]
+        )
+
+    def test_heavy_subintervals(self, scheduler):
+        heavy = scheduler.timeline.heavy(4)
+        assert [(s.start, s.end) for s in heavy] == list(
+            SIX_TASK_EXPECTED["heavy_subintervals"]
+        )
+
+    def test_even_allocation(self, scheduler):
+        plan = scheduler.plan("even")
+        j = scheduler.timeline.locate(8.0)
+        expected = SIX_TASK_EXPECTED["even_share"]
+        for tid in scheduler.timeline[j].task_ids:
+            assert plan.x[tid, j] == pytest.approx(expected)
+
+    def test_der_allocations(self, scheduler):
+        plan = scheduler.plan("der")
+        tl = scheduler.timeline
+        np.testing.assert_allclose(
+            plan.x[:, tl.locate(8.0)],
+            SIX_TASK_EXPECTED["der_alloc_8_10"],
+            atol=1e-4,
+        )
+        np.testing.assert_allclose(
+            plan.x[:, tl.locate(12.0)],
+            SIX_TASK_EXPECTED["der_alloc_12_14"],
+            atol=1e-4,
+        )
+
+    def test_final_energies(self, scheduler):
+        assert scheduler.final("even").energy == pytest.approx(
+            SIX_TASK_EXPECTED["energy_F1"], abs=1e-3
+        )
+        assert scheduler.final("der").energy == pytest.approx(
+            SIX_TASK_EXPECTED["energy_F2"], abs=1e-3
+        )
+
+    def test_der_beats_even(self, scheduler):
+        assert scheduler.final("der").energy < scheduler.final("even").energy
+
+    def test_all_schedules_valid_and_replayable(self, scheduler):
+        for res in scheduler.run_all().values():
+            assert_valid(res.schedule, tol=1e-7)
+            report = execute_schedule(res.schedule)
+            assert report.all_deadlines_met
+            assert report.total_energy == pytest.approx(res.energy, rel=1e-7)
+
+    def test_even_packing_fig4b_golden(self, scheduler):
+        """Algorithm 1 on the even allocation in [8, 10] (paper Fig. 4(b)):
+        McNaughton packing of five 8/5-slots onto four cores, with exactly
+        three wrapped tasks."""
+        from repro.core import wrap_schedule
+
+        alloc = {i: 8 / 5 for i in range(5)}
+        slots = wrap_schedule(8.0, 10.0, alloc, 4)
+        expected = [
+            (0, 0, 8.0, 9.6),
+            (1, 0, 9.6, 10.0),
+            (1, 1, 8.0, 9.2),
+            (2, 1, 9.2, 10.0),
+            (2, 2, 8.0, 8.8),
+            (3, 2, 8.8, 10.0),
+            (3, 3, 8.0, 8.4),
+            (4, 3, 8.4, 10.0),
+        ]
+        got = sorted(
+            (s.task_id, s.core, round(s.start, 9), round(s.end, 9)) for s in slots
+        )
+        assert got == sorted(expected)
+
+    def test_nec_of_f2_close_to_optimal(self, scheduler, six_tasks, cube_power):
+        opt = solve_optimal(six_tasks, 4, cube_power)
+        nec = scheduler.final("der").energy / opt.energy
+        assert 1.0 - 1e-9 <= nec < 1.15

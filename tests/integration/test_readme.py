@@ -1,0 +1,35 @@
+"""Doc-code sync: the README's quickstart snippet must actually run."""
+
+import re
+from pathlib import Path
+
+README = Path(__file__).resolve().parent.parent.parent / "README.md"
+
+
+def _python_blocks(text: str) -> list[str]:
+    return re.findall(r"```python\n(.*?)```", text, flags=re.DOTALL)
+
+
+def test_readme_exists_and_has_quickstart():
+    text = README.read_text()
+    assert "## Quickstart" in text
+    assert _python_blocks(text), "README should contain python examples"
+
+
+def test_readme_quickstart_executes():
+    text = README.read_text()
+    block = _python_blocks(text)[0]
+    namespace: dict = {}
+    exec(compile(block, "README-quickstart", "exec"), namespace)  # noqa: S102
+    # the snippet computes an NEC and replays the schedule
+    assert "result" in namespace and "optimal" in namespace
+    nec = namespace["result"].energy / namespace["optimal"].energy
+    assert 1.0 - 1e-9 <= nec < 1.3
+
+
+def test_readme_mentions_all_examples():
+    text = README.read_text()
+    examples_dir = README.parent / "examples"
+    for script in ("quickstart.py", "paper_walkthrough.py"):
+        assert script in text
+        assert (examples_dir / script).exists()

@@ -1,0 +1,80 @@
+"""Seeded soak: every workload source through the full stack.
+
+Thirty varied instances — paper generator across (α, p₀, m, n), bursty,
+SWF-derived, and unrolled-periodic workloads — each scheduled all four ways,
+validated, replayed, and certified against §V's relations.  The breadth
+complements hypothesis' depth (these instances are larger and more
+structured than the property strategies generate).
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import SubintervalScheduler, certify_instance
+from repro.power import PolynomialPower
+from repro.sim import assert_valid, execute_schedule
+from repro.workloads import bursty_workload, paper_workload, taskset_from_swf
+from repro.workloads.generator import PaperWorkloadConfig
+from repro.workloads.periodic import PeriodicTask, unroll
+from repro.workloads.swf import SwfJob, write_swf
+
+
+def _paper_cases():
+    cases = []
+    seed = 0
+    for alpha in (2.0, 2.5, 3.0):
+        for p0 in (0.0, 0.1, 0.3):
+            for m, n in ((2, 12), (4, 25)):
+                cases.append(("paper", seed, alpha, p0, m, n))
+                seed += 1
+    return cases
+
+
+def _build(kind: str, seed: int, n: int):
+    rng = np.random.default_rng(seed)
+    if kind == "paper":
+        return paper_workload(rng, PaperWorkloadConfig(n_tasks=n))
+    if kind == "bursty":
+        return bursty_workload(rng, n_bursts=3, tasks_per_burst=max(n // 3, 2))
+    if kind == "swf":
+        jobs = [
+            SwfJob(
+                job_id=i,
+                submit_time=float(rng.uniform(0, 50)),
+                run_time=float(rng.uniform(5, 30)),
+                n_procs=1,
+                requested_time=float(rng.uniform(40, 120)),
+            )
+            for i in range(n)
+        ]
+        return taskset_from_swf(write_swf(jobs))
+    if kind == "periodic":
+        periods = rng.choice([4.0, 6.0, 12.0], size=4)
+        ts = [PeriodicTask(float(p), float(p) * 0.3) for p in periods]
+        return unroll(ts)
+    raise AssertionError(kind)
+
+
+@pytest.mark.parametrize("kind,seed,alpha,p0,m,n", _paper_cases())
+def test_paper_workloads_soak(kind, seed, alpha, p0, m, n):
+    tasks = _build(kind, seed, n)
+    power = PolynomialPower(alpha=alpha, static=p0)
+    sch = SubintervalScheduler(tasks, m, power)
+    for res in sch.run_all().values():
+        assert_valid(res.schedule, tol=1e-6)
+        rep = execute_schedule(res.schedule)
+        assert rep.all_deadlines_met
+        assert rep.total_energy == pytest.approx(res.energy, rel=1e-7)
+    report = certify_instance(tasks, m, power)
+    assert report.all_guaranteed_hold, report.summary()
+
+
+@pytest.mark.parametrize("kind", ["bursty", "swf", "periodic"])
+@pytest.mark.parametrize("seed", [101, 202, 303, 404])
+def test_structured_workloads_soak(kind, seed):
+    tasks = _build(kind, seed, 15)
+    power = PolynomialPower(alpha=3.0, static=0.1)
+    sch = SubintervalScheduler(tasks, 3, power)
+    for res in sch.run_all().values():
+        assert_valid(res.schedule, tol=1e-6)
+    assert certify_instance(tasks, 3, power).all_guaranteed_hold

@@ -1,0 +1,61 @@
+"""Unit tests for schedule serialization."""
+
+import pytest
+
+from repro.core import SubintervalScheduler
+from repro.io import load_schedule, save_schedule, schedule_from_json, schedule_to_json
+from repro.sim import validate_schedule
+from tests.conftest import random_instance
+
+
+@pytest.fixture
+def schedule():
+    tasks, power = random_instance(4, n=8)
+    return SubintervalScheduler(tasks, 3, power).final("der").schedule
+
+
+class TestRoundtrip:
+    def test_energy_preserved(self, schedule):
+        out = schedule_from_json(schedule_to_json(schedule))
+        assert out.total_energy() == pytest.approx(schedule.total_energy())
+
+    def test_structure_preserved(self, schedule):
+        out = schedule_from_json(schedule_to_json(schedule))
+        assert out.n_cores == schedule.n_cores
+        assert len(out) == len(schedule)
+        assert out.tasks == schedule.tasks
+
+    def test_validity_preserved(self, schedule):
+        out = schedule_from_json(schedule_to_json(schedule))
+        assert validate_schedule(out) == []
+
+    def test_power_model_preserved(self, schedule):
+        out = schedule_from_json(schedule_to_json(schedule))
+        assert out.power.alpha == schedule.power.alpha
+        assert out.power.static == schedule.power.static
+
+    def test_file_roundtrip(self, schedule, tmp_path):
+        p = tmp_path / "sched.json"
+        save_schedule(schedule, p)
+        out = load_schedule(p)
+        assert out.total_energy() == pytest.approx(schedule.total_energy())
+
+
+class TestValidation:
+    def test_rejects_wrong_format(self):
+        with pytest.raises(ValueError, match="not a repro-schedule"):
+            schedule_from_json('{"format": "nope"}')
+
+    def test_rejects_wrong_version(self):
+        with pytest.raises(ValueError, match="version"):
+            schedule_from_json('{"format": "repro-schedule", "version": 9}')
+
+    def test_rejects_non_polynomial_power(self, schedule):
+        import numpy as np
+
+        from repro.power import DiscreteFrequencySet
+
+        fset = DiscreteFrequencySet(np.array([1.0]), np.array([1.0]))
+        bad = schedule.with_power(fset)
+        with pytest.raises(TypeError, match="PolynomialPower"):
+            schedule_to_json(bad)

@@ -1,0 +1,123 @@
+"""Unit tests for the convex problem reformulation."""
+
+import numpy as np
+import pytest
+
+from repro.core import TaskSet, Timeline
+from repro.optimal import ConvexProblem
+from repro.power import PolynomialPower
+from tests.conftest import random_instance
+
+
+@pytest.fixture
+def small_problem():
+    tasks = TaskSet.from_tuples([(0, 4, 2), (2, 6, 2), (2, 4, 1)])
+    return ConvexProblem(Timeline(tasks), 1, PolynomialPower(3.0, 0.1))
+
+
+class TestStructure:
+    def test_variable_count_matches_coverage(self, small_problem):
+        p = small_problem
+        assert p.k == int(p.timeline.coverage.sum())
+
+    def test_to_from_matrix_roundtrip(self, small_problem):
+        p = small_problem
+        x = p.feasible_start()
+        np.testing.assert_allclose(p.from_matrix(p.to_matrix(x)), x)
+
+    def test_available_times_is_row_sum(self, small_problem):
+        p = small_problem
+        x = p.feasible_start()
+        np.testing.assert_allclose(
+            p.available_times(x), p.to_matrix(x).sum(axis=1)
+        )
+
+    def test_column_sums(self, small_problem):
+        p = small_problem
+        x = p.feasible_start()
+        np.testing.assert_allclose(p.column_sums(x), p.to_matrix(x).sum(axis=0))
+
+    def test_rejects_bad_m(self, six_tasks, cube_power):
+        with pytest.raises(ValueError):
+            ConvexProblem(Timeline(six_tasks), 0, cube_power)
+
+
+class TestObjective:
+    def test_objective_matches_closed_form(self, small_problem):
+        p = small_problem
+        x = p.feasible_start()
+        A = p.available_times(x)
+        manual = float(
+            np.sum(p.works**3 / A**2) + p.power.static * A.sum()
+        )
+        assert p.objective(x) == pytest.approx(manual)
+
+    def test_objective_inf_at_zero(self, small_problem):
+        p = small_problem
+        assert p.objective(np.zeros(p.k)) == float("inf")
+
+    def test_gradient_matches_finite_differences(self, small_problem):
+        p = small_problem
+        x = p.feasible_start()
+        g = p.gradient(x)
+        eps = 1e-7
+        for v in range(p.k):
+            xp = x.copy()
+            xp[v] += eps
+            xm = x.copy()
+            xm[v] -= eps
+            fd = (p.objective(xp) - p.objective(xm)) / (2 * eps)
+            assert g[v] == pytest.approx(fd, rel=1e-4, abs=1e-6)
+
+    def test_hessian_weights_positive(self, small_problem):
+        p = small_problem
+        h = p.hessian_task_weights(p.feasible_start())
+        assert np.all(h > 0)
+
+    def test_objective_convex_along_random_segments(self, rng):
+        tasks, power = random_instance(2, n=8)
+        p = ConvexProblem(Timeline(tasks), 3, power)
+        x0 = p.feasible_start(0.5)
+        x1 = p.feasible_start(0.95)
+        mid = 0.5 * (x0 + x1)
+        assert p.objective(mid) <= 0.5 * (p.objective(x0) + p.objective(x1)) + 1e-9
+
+
+class TestFeasibility:
+    def test_feasible_start_strictly_interior(self, small_problem):
+        p = small_problem
+        x = p.feasible_start()
+        assert np.all(x > 0)
+        assert np.all(x < p.var_len)
+        assert np.all(p.column_sums(x) < p.caps)
+
+    def test_feasible_start_shrink_validation(self, small_problem):
+        with pytest.raises(ValueError):
+            small_problem.feasible_start(shrink=1.0)
+
+    def test_check_feasible_passes(self, small_problem):
+        small_problem.check_feasible(small_problem.feasible_start())
+
+    def test_check_feasible_catches_negative(self, small_problem):
+        p = small_problem
+        x = p.feasible_start()
+        x[0] = -1.0
+        with pytest.raises(AssertionError, match="negative"):
+            p.check_feasible(x)
+
+    def test_check_feasible_catches_cap(self, small_problem):
+        p = small_problem
+        x = p.feasible_start()
+        x[0] = p.var_len[0] * 2
+        with pytest.raises(AssertionError):
+            p.check_feasible(x)
+
+    def test_check_feasible_shape(self, small_problem):
+        with pytest.raises(ValueError, match="shape"):
+            small_problem.check_feasible(np.zeros(3 + small_problem.k))
+
+    def test_clip_feasible_repairs(self, small_problem):
+        p = small_problem
+        x = p.feasible_start() * 3.0  # violates caps
+        fixed = p.clip_feasible(x)
+        p.check_feasible(fixed)

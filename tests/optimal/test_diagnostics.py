@@ -1,0 +1,49 @@
+"""Tests for interior-point convergence diagnostics."""
+
+import numpy as np
+import pytest
+
+from repro.core import Timeline
+from repro.optimal import ConvexProblem, IPConfig, solve_optimal, solve_with_trace
+from tests.conftest import random_instance
+
+
+@pytest.fixture(scope="module")
+def trace():
+    tasks, power = random_instance(0, n=10)
+    problem = ConvexProblem(Timeline(tasks), 4, power)
+    return solve_with_trace(problem)
+
+
+class TestTrace:
+    def test_solution_matches_plain_solver(self, trace):
+        tasks, power = random_instance(0, n=10)
+        plain = solve_optimal(tasks, 4, power)
+        assert trace.solution.energy == pytest.approx(plain.energy, rel=1e-9)
+
+    def test_gaps_shrink_geometrically(self, trace):
+        assert len(trace.records) >= 3
+        assert trace.is_linearly_converging(factor=2.0)
+
+    def test_gap_matches_mu_schedule(self, trace):
+        # gap_k = n_ineq / t_k with t growing by exactly mu
+        g = trace.gaps
+        ratios = g[:-1] / g[1:]
+        np.testing.assert_allclose(ratios, IPConfig().mu)
+
+    def test_objectives_monotone_toward_optimum(self, trace):
+        # the central path's objective decreases toward the optimum
+        obj = trace.objectives
+        assert obj[-1] <= obj[0] + 1e-9
+        assert obj[-1] == pytest.approx(trace.solution.energy, rel=1e-6)
+
+    def test_newton_iterations_cumulative(self, trace):
+        its = [r.newton_iterations for r in trace.records]
+        assert all(b >= a for a, b in zip(its, its[1:]))
+        assert trace.total_newton_iterations == its[-1]
+
+    def test_final_gap_below_tolerance(self, trace):
+        cfg = IPConfig()
+        assert trace.records[-1].gap <= cfg.gap_tol * max(
+            abs(trace.solution.energy), 1.0
+        )

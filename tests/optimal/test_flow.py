@@ -1,0 +1,99 @@
+"""Tests for flow-based demand feasibility/realization."""
+
+import numpy as np
+import pytest
+
+from repro.core import SubintervalScheduler, TaskSet, Timeline
+from repro.core.wrap_schedule import wrap_schedule
+from repro.optimal import (
+    check_demand_feasibility,
+    realize_demands,
+    solve_optimal,
+)
+from repro.power import PolynomialPower
+from tests.conftest import random_instance
+
+
+class TestFeasibility:
+    def test_zero_demands_feasible(self):
+        tasks = TaskSet.from_tuples([(0, 4, 1), (0, 4, 1)])
+        assert check_demand_feasibility(tasks, 1, [0.0, 0.0])
+
+    def test_full_windows_on_enough_cores(self):
+        tasks = TaskSet.from_tuples([(0, 4, 1), (0, 4, 1)])
+        assert check_demand_feasibility(tasks, 2, [4.0, 4.0])
+
+    def test_overload_detected(self):
+        # two full-window demands on one core: impossible
+        tasks = TaskSet.from_tuples([(0, 4, 1), (0, 4, 1)])
+        assert not check_demand_feasibility(tasks, 1, [4.0, 4.0])
+
+    def test_exact_capacity_boundary(self):
+        # 2 + 2 = 4 = 1 core x 4: exactly feasible
+        tasks = TaskSet.from_tuples([(0, 4, 1), (0, 4, 1)])
+        assert check_demand_feasibility(tasks, 1, [2.0, 2.0])
+
+    def test_demand_exceeding_window_rejected(self):
+        tasks = TaskSet.from_tuples([(0, 4, 1)])
+        with pytest.raises(ValueError, match="window"):
+            check_demand_feasibility(tasks, 2, [5.0])
+
+    def test_validation(self):
+        tasks = TaskSet.from_tuples([(0, 4, 1)])
+        with pytest.raises(ValueError):
+            realize_demands(tasks, 0, [1.0])
+        with pytest.raises(ValueError):
+            realize_demands(tasks, 1, [-1.0])
+        with pytest.raises(ValueError):
+            realize_demands(tasks, 1, [1.0, 2.0])
+
+
+class TestRealization:
+    def test_realized_x_is_valid(self):
+        tasks, power = random_instance(0, n=10)
+        sch = SubintervalScheduler(tasks, 3, power)
+        demands = sch.plan("der").available_times * 0.8
+        real = realize_demands(tasks, 3, demands)
+        assert real.feasible
+        tl = Timeline(tasks)
+        # x within per-variable caps and per-subinterval capacity
+        assert np.all(real.x <= tl.lengths[None, :] + 1e-9)
+        assert np.all(real.x.sum(axis=0) <= 3 * tl.lengths + 1e-9)
+        np.testing.assert_allclose(real.x.sum(axis=1), demands, rtol=1e-9)
+        assert np.all(real.shortfall < 1e-9)
+
+    def test_realized_x_packs_with_algorithm_1(self):
+        tasks, power = random_instance(1, n=8)
+        sch = SubintervalScheduler(tasks, 2, power)
+        demands = sch.plan("der").available_times
+        real = realize_demands(tasks, 2, demands)
+        assert real.feasible
+        tl = Timeline(tasks)
+        for sub in tl:
+            alloc = {tid: float(real.x[tid, sub.index]) for tid in sub.task_ids}
+            wrap_schedule(sub.start, sub.end, alloc, 2)  # must not raise
+
+    def test_optimal_demands_are_feasible(self):
+        """The convex optimum's A vector must pass the combinatorial check —
+        cross-validation of two entirely different formulations."""
+        tasks, power = random_instance(2, n=10)
+        opt = solve_optimal(tasks, 4, power)
+        assert check_demand_feasibility(tasks, 4, opt.available_times, rtol=1e-6)
+
+    def test_infeasible_reports_shortfall_and_bottleneck(self):
+        tasks = TaskSet.from_tuples([(0, 4, 1), (0, 4, 1), (0, 4, 1)])
+        real = realize_demands(tasks, 1, [4.0, 4.0, 4.0])
+        assert not real.feasible
+        assert real.shortfall.sum() == pytest.approx(8.0)
+        assert real.bottleneck_subintervals == (0,)
+
+    def test_partial_realization_is_maximal(self):
+        tasks = TaskSet.from_tuples([(0, 4, 1), (0, 4, 1)])
+        real = realize_demands(tasks, 1, [4.0, 4.0])
+        # capacity 4 gets fully used even though demands total 8
+        assert real.x.sum() == pytest.approx(4.0)
+
+    def test_disjoint_windows_independent(self):
+        tasks = TaskSet.from_tuples([(0, 4, 1), (10, 14, 1)])
+        real = realize_demands(tasks, 1, [4.0, 4.0])
+        assert real.feasible

@@ -1,0 +1,87 @@
+"""Unit tests for KKT certificates and activity reports."""
+
+import numpy as np
+import pytest
+
+from repro.core import Timeline
+from repro.optimal import (
+    ConvexProblem,
+    active_constraints,
+    projection_residual,
+    solve_optimal,
+    verify_optimality,
+)
+from repro.power import PolynomialPower
+from tests.conftest import random_instance
+
+
+class TestProjectionResidual:
+    def test_zero_at_optimum(self):
+        tasks, power = random_instance(0, n=8)
+        sol = solve_optimal(tasks, 3, power)
+        g = sol.problem.gradient(sol.x)
+        scale = float(np.max(np.abs(g)))
+        assert projection_residual(sol.problem, sol.x) < 1e-3 * scale
+
+    def test_large_away_from_optimum(self):
+        tasks, power = random_instance(0, n=8)
+        sol = solve_optimal(tasks, 3, power)
+        start = sol.problem.feasible_start(0.5)
+        assert projection_residual(sol.problem, start) > projection_residual(
+            sol.problem, sol.x
+        )
+
+    def test_rejects_bad_step(self):
+        tasks, power = random_instance(0, n=4)
+        p = ConvexProblem(Timeline(tasks), 2, power)
+        with pytest.raises(ValueError):
+            projection_residual(p, p.feasible_start(), step=0.0)
+
+
+class TestVerifyOptimality:
+    def test_accepts_optimum(self):
+        tasks, power = random_instance(1, n=8)
+        sol = solve_optimal(tasks, 3, power)
+        assert verify_optimality(sol.problem, sol.x)
+
+    def test_rejects_suboptimal_point(self):
+        tasks, power = random_instance(1, n=8)
+        p = ConvexProblem(Timeline(tasks), 3, power)
+        assert not verify_optimality(p, p.feasible_start(0.4), tol=1e-6)
+
+    def test_rejects_infeasible(self):
+        tasks, power = random_instance(1, n=6)
+        p = ConvexProblem(Timeline(tasks), 3, power)
+        x = p.feasible_start()
+        x[0] = -5.0
+        with pytest.raises(AssertionError):
+            verify_optimality(p, x)
+
+
+class TestActivityReport:
+    def test_saturation_appears_when_contended(self):
+        # p0 = 0: optimum stretches everything, saturating heavy subintervals
+        tasks, _ = random_instance(2, n=16)
+        power = PolynomialPower(alpha=3.0, static=0.0)
+        sol = solve_optimal(tasks, 2, power)
+        rep = active_constraints(sol.problem, sol.x, rtol=1e-4)
+        tl = sol.problem.timeline
+        heavy = {s.index for s in tl.heavy(2)}
+        saturated = set(np.flatnonzero(rep.saturated_subintervals))
+        # every saturated subinterval should at least be contended
+        assert saturated, "expected some saturated subintervals at p0=0"
+        assert rep.n_saturated == len(saturated)
+
+    def test_no_saturation_when_idle(self):
+        tasks, power = random_instance(3, n=3)
+        sol = solve_optimal(tasks, 8, power)  # more cores than tasks
+        rep = active_constraints(sol.problem, sol.x)
+        assert rep.n_saturated == 0
+
+    def test_masks_have_right_shapes(self):
+        tasks, power = random_instance(4, n=6)
+        sol = solve_optimal(tasks, 2, power)
+        rep = active_constraints(sol.problem, sol.x)
+        assert rep.saturated_subintervals.shape == (sol.problem.n_subs,)
+        assert rep.at_upper.shape == (sol.problem.k,)
+        assert rep.at_zero.shape == (sol.problem.k,)

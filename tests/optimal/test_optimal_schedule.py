@@ -1,0 +1,40 @@
+"""Tests for materializing optimal solutions as concrete schedules."""
+
+import pytest
+
+from repro.optimal import optimal_schedule, solve_optimal
+from repro.sim import assert_valid, execute_schedule
+from tests.conftest import random_instance
+
+
+@pytest.mark.parametrize("seed", range(4))
+def test_optimal_schedule_is_valid(seed):
+    tasks, power = random_instance(seed, n=10)
+    sol = solve_optimal(tasks, 4, power)
+    sched = optimal_schedule(sol)
+    assert_valid(sched, tol=1e-5)
+
+
+@pytest.mark.parametrize("seed", range(4))
+def test_optimal_schedule_energy_matches_objective(seed):
+    tasks, power = random_instance(seed, n=10)
+    sol = solve_optimal(tasks, 4, power)
+    sched = optimal_schedule(sol)
+    assert sched.total_energy() == pytest.approx(sol.energy, rel=1e-5)
+
+
+def test_optimal_schedule_replay(motivational):
+    tasks, power = motivational
+    sol = solve_optimal(tasks, 2, power)
+    sched = optimal_schedule(sol)
+    report = execute_schedule(sched)
+    assert report.all_deadlines_met
+    assert report.total_energy == pytest.approx(sol.energy, rel=1e-6)
+
+
+def test_optimal_schedule_respects_core_count(motivational):
+    tasks, power = motivational
+    sol = solve_optimal(tasks, 2, power)
+    sched = optimal_schedule(sol)
+    assert sched.n_cores == 2
+    assert all(seg.core < 2 for seg in sched)

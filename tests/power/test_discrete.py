@@ -1,0 +1,105 @@
+"""Unit tests for the discrete-frequency platform model."""
+
+import numpy as np
+import pytest
+
+from repro.power import DiscreteFrequencySet, PolynomialPower
+
+
+@pytest.fixture
+def fset() -> DiscreteFrequencySet:
+    return DiscreteFrequencySet(
+        frequencies=np.array([1.0, 2.0, 4.0]),
+        powers=np.array([1.0, 5.0, 30.0]),
+        continuous_fit=PolynomialPower(alpha=2.0, static=0.5),
+    )
+
+
+class TestConstruction:
+    def test_requires_increasing(self):
+        with pytest.raises(ValueError, match="increasing"):
+            DiscreteFrequencySet(np.array([2.0, 1.0]), np.array([1.0, 2.0]))
+
+    def test_requires_equal_length(self):
+        with pytest.raises(ValueError):
+            DiscreteFrequencySet(np.array([1.0, 2.0]), np.array([1.0]))
+
+    def test_requires_positive_freqs(self):
+        with pytest.raises(ValueError):
+            DiscreteFrequencySet(np.array([0.0, 1.0]), np.array([1.0, 2.0]))
+
+    def test_len_and_bounds(self, fset):
+        assert len(fset) == 3
+        assert fset.f_min == 1.0
+        assert fset.f_max == 4.0
+
+
+class TestPowerLookup:
+    def test_exact_points(self, fset):
+        assert fset.power(2.0) == pytest.approx(5.0)
+        np.testing.assert_allclose(fset.power(np.array([1.0, 4.0])), [1.0, 30.0])
+
+    def test_off_point_uses_fit(self, fset):
+        assert fset.power(3.0) == pytest.approx(9.0 + 0.5)
+
+    def test_strict_off_point_raises(self):
+        fs = DiscreteFrequencySet(
+            np.array([1.0, 2.0]), np.array([1.0, 5.0]), strict=True
+        )
+        with pytest.raises(ValueError, match="non-operating"):
+            fs.power(1.5)
+
+    def test_no_fit_off_point_raises(self):
+        fs = DiscreteFrequencySet(np.array([1.0, 2.0]), np.array([1.0, 5.0]))
+        with pytest.raises(ValueError):
+            fs.power(1.5)
+
+    def test_critical_frequency_is_best_point(self, fset):
+        # energy/work: 1.0, 2.5, 7.5 -> best at f=1
+        assert fset.critical_frequency() == 1.0
+
+
+class TestQuantization:
+    def test_round_up(self, fset):
+        q = fset.quantize_up(np.array([0.5, 1.0, 1.5, 2.0, 3.9]))
+        np.testing.assert_allclose(q.frequencies, [1.0, 1.0, 2.0, 2.0, 4.0])
+        assert q.feasible.all()
+        assert q.miss_count == 0
+
+    def test_infeasible_above_fmax(self, fset):
+        q = fset.quantize_up(np.array([4.0, 4.1]))
+        assert q.feasible[0]
+        assert not q.feasible[1]
+        assert np.isnan(q.frequencies[1])
+        assert q.miss_count == 1
+        assert q.miss_any
+
+    def test_exact_point_stays(self, fset):
+        q = fset.quantize_up(2.0)
+        assert q.frequencies[0] == 2.0
+
+    def test_tolerates_float_noise(self, fset):
+        q = fset.quantize_up(2.0 * (1 + 1e-15))
+        assert q.frequencies[0] == 2.0
+
+    def test_rejects_nonpositive(self, fset):
+        with pytest.raises(ValueError):
+            fset.quantize_up(np.array([0.0]))
+
+    def test_round_down(self, fset):
+        np.testing.assert_allclose(
+            fset.quantize_down(np.array([0.5, 1.5, 4.0, 9.0])), [1.0, 1.0, 4.0, 4.0]
+        )
+
+
+class TestEnergyAtPoints:
+    def test_energy_uses_table_power(self, fset):
+        # work 4 planned at 1.5 -> runs at 2.0, time 2, energy 5*2 = 10
+        e, q = fset.energy_at_points(np.array([4.0]), np.array([1.5]))
+        assert e[0] == pytest.approx(10.0)
+        assert q.feasible.all()
+
+    def test_energy_nan_when_infeasible(self, fset):
+        e, q = fset.energy_at_points(np.array([4.0]), np.array([5.0]))
+        assert np.isnan(e[0])
+        assert not q.feasible[0]

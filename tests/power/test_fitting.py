@@ -1,0 +1,75 @@
+"""Unit tests for the from-scratch power-model curve fitter."""
+
+import numpy as np
+import pytest
+
+from repro.power import (
+    PolynomialPower,
+    fit_linear_given_alpha,
+    fit_power_model,
+    fit_power_model_full,
+)
+
+
+class TestLinearSubproblem:
+    def test_exact_recovery_fixed_alpha(self):
+        freqs = np.array([1.0, 2.0, 3.0, 4.0])
+        gamma, p0 = 0.7, 2.5
+        powers = gamma * freqs**3 + p0
+        g, p, sse = fit_linear_given_alpha(freqs, powers, 3.0)
+        assert g == pytest.approx(gamma)
+        assert p == pytest.approx(p0)
+        assert sse == pytest.approx(0.0, abs=1e-18)
+
+    def test_negative_intercept_clamped(self):
+        # data whose unconstrained intercept would be negative
+        freqs = np.array([1.0, 2.0, 3.0])
+        powers = np.array([0.5, 4.0, 13.0])  # roughly 1.5 f^2 - 1
+        g, p, _ = fit_linear_given_alpha(freqs, powers, 2.0)
+        assert p >= 0.0
+        assert g > 0.0
+
+
+class TestFullFit:
+    def test_exact_recovery(self):
+        truth = PolynomialPower(alpha=2.7, static=12.0, gamma=3e-4)
+        freqs = np.array([100.0, 200.0, 400.0, 700.0, 1000.0])
+        powers = np.asarray(truth.power(freqs))
+        fit = fit_power_model(freqs, powers)
+        assert fit.alpha == pytest.approx(2.7, abs=1e-4)
+        assert fit.static == pytest.approx(12.0, rel=1e-3)
+        assert fit.gamma == pytest.approx(3e-4, rel=1e-2)
+
+    def test_noisy_fit_close(self, rng):
+        truth = PolynomialPower(alpha=2.9, static=60.0, gamma=5e-6)
+        freqs = np.linspace(150, 1000, 8)
+        powers = np.asarray(truth.power(freqs)) * (1 + rng.normal(0, 0.01, 8))
+        full = fit_power_model_full(freqs, powers)
+        assert full.rmse < 0.05 * powers.max()
+        assert 2.0 <= full.model.alpha <= 3.5
+
+    def test_residual_diagnostics(self):
+        truth = PolynomialPower(alpha=2.5, static=1.0, gamma=0.01)
+        freqs = np.array([10.0, 20.0, 40.0, 80.0])
+        powers = np.asarray(truth.power(freqs))
+        full = fit_power_model_full(freqs, powers)
+        assert full.sse == pytest.approx(0.0, abs=1e-9)
+        assert len(full.residuals) == 4
+
+    def test_alpha_lower_bound_enforced(self):
+        freqs = np.array([1.0, 2.0, 3.0])
+        with pytest.raises(ValueError, match="alpha >= 2"):
+            fit_power_model(freqs, freqs**2, alpha_range=(1.0, 3.0))
+
+    def test_needs_three_points(self):
+        with pytest.raises(ValueError, match="3 points"):
+            fit_power_model(np.array([1.0, 2.0]), np.array([1.0, 4.0]))
+
+    def test_rejects_nonpositive_freqs(self):
+        with pytest.raises(ValueError, match="positive"):
+            fit_power_model(np.array([0.0, 1.0, 2.0]), np.array([1.0, 2.0, 3.0]))
+
+    def test_bad_range(self):
+        freqs = np.array([1.0, 2.0, 3.0])
+        with pytest.raises(ValueError, match="increasing pair"):
+            fit_power_model(freqs, freqs**2, alpha_range=(3.0, 3.0))

@@ -1,0 +1,116 @@
+"""Unit tests for continuous power models."""
+
+import numpy as np
+import pytest
+
+from repro.power import PolynomialPower, energy_per_work
+
+
+class TestPolynomialPower:
+    def test_power_formula(self):
+        p = PolynomialPower(alpha=3.0, static=0.1)
+        assert p.power(2.0) == pytest.approx(8.1)
+
+    def test_power_with_gamma(self):
+        p = PolynomialPower(alpha=2.0, static=1.0, gamma=0.5)
+        assert p.power(4.0) == pytest.approx(0.5 * 16 + 1.0)
+
+    def test_power_broadcasts(self):
+        p = PolynomialPower(alpha=2.0, static=0.0)
+        np.testing.assert_allclose(p.power(np.array([1.0, 2.0, 3.0])), [1, 4, 9])
+
+    def test_energy(self):
+        p = PolynomialPower(alpha=3.0, static=0.0)
+        # E = f^2 * C = 0.25 * 4
+        assert p.energy(4.0, 0.5) == pytest.approx(1.0)
+
+    def test_energy_zero_work(self):
+        p = PolynomialPower(alpha=3.0, static=0.1)
+        assert p.energy(0.0, 1.0) == 0.0
+
+    def test_energy_rejects_zero_frequency_with_work(self):
+        p = PolynomialPower(alpha=3.0, static=0.0)
+        with pytest.raises(ValueError):
+            p.energy(1.0, 0.0)
+
+    def test_energy_over_time(self):
+        p = PolynomialPower(alpha=2.0, static=0.5)
+        assert p.energy_over_time(2.0, 3.0) == pytest.approx((4 + 0.5) * 3)
+
+    def test_alpha_below_two_rejected(self):
+        with pytest.raises(ValueError, match="alpha"):
+            PolynomialPower(alpha=1.5)
+
+    def test_negative_static_rejected(self):
+        with pytest.raises(ValueError, match="static"):
+            PolynomialPower(alpha=2.0, static=-0.1)
+
+    def test_nonpositive_gamma_rejected(self):
+        with pytest.raises(ValueError, match="gamma"):
+            PolynomialPower(alpha=2.0, gamma=0.0)
+
+
+class TestCriticalFrequency:
+    def test_zero_static_means_zero_crit(self):
+        assert PolynomialPower(alpha=3.0, static=0.0).critical_frequency() == 0.0
+
+    def test_fig3_value(self):
+        # p = f^2 + 0.25 -> f_crit = sqrt(0.25/1) = 0.5
+        assert PolynomialPower(alpha=2.0, static=0.25).critical_frequency() == pytest.approx(0.5)
+
+    def test_general_formula(self):
+        p = PolynomialPower(alpha=3.0, static=0.04, gamma=2.0)
+        expected = (0.04 / (2.0 * 2.0)) ** (1 / 3)
+        assert p.critical_frequency() == pytest.approx(expected)
+
+    def test_crit_minimizes_energy_per_work(self):
+        p = PolynomialPower(alpha=2.7, static=0.3, gamma=1.3)
+        fc = p.critical_frequency()
+        fs = np.linspace(fc * 0.2, fc * 5, 400)
+        epw = p.energy_per_work(fs)
+        assert p.energy_per_work(fc) <= epw.min() + 1e-9
+
+    def test_energy_per_work_function(self):
+        p = PolynomialPower(alpha=3.0, static=0.1)
+        assert energy_per_work(p, 2.0) == pytest.approx(p.power(2.0) / 2.0)
+        assert p.energy_per_work(2.0) == pytest.approx(4.0 + 0.05)
+
+    def test_energy_per_work_rejects_zero(self):
+        p = PolynomialPower(alpha=3.0, static=0.1)
+        with pytest.raises(ValueError):
+            p.energy_per_work(0.0)
+
+
+class TestOptimalFrequency:
+    def test_clamps_at_critical(self):
+        p = PolynomialPower(alpha=2.0, static=0.25)
+        assert p.optimal_frequency(2.0, 5.0) == pytest.approx(0.5)
+
+    def test_tight_deadline_dominates(self):
+        p = PolynomialPower(alpha=2.0, static=0.25)
+        assert p.optimal_frequency(4.0, 4.0) == pytest.approx(1.0)
+
+    def test_rejects_zero_time(self):
+        p = PolynomialPower(alpha=2.0, static=0.25)
+        with pytest.raises(ValueError):
+            p.optimal_frequency(1.0, 0.0)
+
+    def test_broadcasts(self):
+        p = PolynomialPower(alpha=2.0, static=0.25)
+        out = p.optimal_frequency(np.array([2.0, 4.0]), np.array([5.0, 4.0]))
+        np.testing.assert_allclose(out, [0.5, 1.0])
+
+
+class TestCopies:
+    def test_with_static(self):
+        p = PolynomialPower(alpha=3.0, static=0.1, gamma=2.0)
+        q = p.with_static(0.5)
+        assert q.static == 0.5 and q.alpha == 3.0 and q.gamma == 2.0
+
+    def test_with_alpha(self):
+        p = PolynomialPower(alpha=3.0, static=0.1)
+        q = p.with_alpha(2.5)
+        assert q.alpha == 2.5 and q.static == 0.1
+
+    def test_repr(self):
+        assert "f^3" in repr(PolynomialPower(alpha=3.0, static=0.0))

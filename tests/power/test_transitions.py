@@ -1,0 +1,101 @@
+"""Unit tests for the DVFS transition-overhead analysis."""
+
+import pytest
+
+from repro.core import Schedule, Segment, SubintervalScheduler, TaskSet
+from repro.power import PolynomialPower, TransitionModel, analyze_transitions
+from tests.conftest import random_instance
+
+
+@pytest.fixture
+def power():
+    return PolynomialPower(alpha=3.0, static=0.0)
+
+
+def _sched(segs, n_cores=2, power=None):
+    power = power or PolynomialPower(3.0, 0.0)
+    tasks = TaskSet.from_tuples([(0, 100, 1)] * (max(s.task_id for s in segs) + 1))
+    return Schedule(tasks, n_cores, power, segs)
+
+
+class TestModel:
+    def test_rejects_negative_costs(self):
+        with pytest.raises(ValueError):
+            TransitionModel(switch_time=-1)
+        with pytest.raises(ValueError):
+            TransitionModel(switch_energy=-1)
+        with pytest.raises(ValueError):
+            TransitionModel(frequency_tolerance=-1)
+
+
+class TestCounting:
+    def test_single_segment_is_one_wake(self, power):
+        rep = analyze_transitions(
+            _sched([Segment(0, 0, 0.0, 1.0, 1.0)]), TransitionModel()
+        )
+        assert rep.total_switches == 1
+        assert rep.task_switches == 0
+
+    def test_same_frequency_back_to_back_no_switch(self, power):
+        segs = [Segment(0, 0, 0.0, 1.0, 1.0), Segment(1, 0, 1.0, 2.0, 1.0)]
+        rep = analyze_transitions(_sched(segs), TransitionModel())
+        assert rep.total_switches == 1  # only the initial wake
+        assert rep.task_switches == 1
+
+    def test_frequency_change_counts(self, power):
+        segs = [Segment(0, 0, 0.0, 1.0, 1.0), Segment(1, 0, 1.0, 2.0, 2.0)]
+        rep = analyze_transitions(_sched(segs), TransitionModel())
+        assert rep.total_switches == 2
+
+    def test_idle_gap_counts_as_wake(self, power):
+        segs = [Segment(0, 0, 0.0, 1.0, 1.0), Segment(1, 0, 3.0, 4.0, 1.0)]
+        rep = analyze_transitions(_sched(segs), TransitionModel())
+        assert rep.total_switches == 2
+
+    def test_per_core_breakdown(self, power):
+        segs = [Segment(0, 0, 0.0, 1.0, 1.0), Segment(1, 1, 0.0, 1.0, 1.0)]
+        rep = analyze_transitions(_sched(segs), TransitionModel())
+        assert rep.switches_per_core == (1, 1)
+
+    def test_tolerance_merges_near_equal_frequencies(self, power):
+        segs = [
+            Segment(0, 0, 0.0, 1.0, 1.0),
+            Segment(1, 0, 1.0, 2.0, 1.0 + 1e-12),
+        ]
+        rep = analyze_transitions(_sched(segs), TransitionModel())
+        assert rep.total_switches == 1
+
+
+class TestCosts:
+    def test_overhead_energy(self, power):
+        segs = [Segment(0, 0, 0.0, 1.0, 1.0), Segment(1, 0, 1.0, 2.0, 2.0)]
+        rep = analyze_transitions(_sched(segs), TransitionModel(switch_energy=0.5))
+        assert rep.overhead_energy == pytest.approx(1.0)
+        assert rep.adjusted_energy == pytest.approx(rep.base_energy + 1.0)
+        assert rep.overhead_fraction > 0
+
+    def test_absorbability(self, power):
+        # a 2-unit gap absorbs a 1-unit switch; back-to-back does not
+        segs = [
+            Segment(0, 0, 0.0, 1.0, 1.0),
+            Segment(1, 0, 3.0, 4.0, 2.0),   # gap 2 >= 1: absorbable
+            Segment(0, 0, 4.0, 5.0, 1.0),   # gap 0 < 1: not absorbable
+        ]
+        rep = analyze_transitions(_sched(segs), TransitionModel(switch_time=1.0))
+        # first wake has infinite gap; second absorbable; third not
+        assert rep.unabsorbable_switches == 1
+        assert not rep.all_absorbable
+
+    def test_zero_cost_model_is_free(self):
+        tasks, power = random_instance(0, n=10)
+        res = SubintervalScheduler(tasks, 4, power).final("der")
+        rep = analyze_transitions(res.schedule, TransitionModel())
+        assert rep.overhead_energy == 0.0
+        assert rep.adjusted_energy == pytest.approx(res.energy)
+
+    def test_pipeline_switch_count_is_moderate(self):
+        # switches bounded by segments (each segment is at most one switch)
+        tasks, power = random_instance(1, n=15)
+        res = SubintervalScheduler(tasks, 4, power).final("der")
+        rep = analyze_transitions(res.schedule, TransitionModel())
+        assert rep.total_switches <= len(res.schedule)

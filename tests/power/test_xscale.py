@@ -1,0 +1,67 @@
+"""Unit tests for the Intel XScale configuration (paper Table III + fit)."""
+
+import numpy as np
+import pytest
+
+from repro.power import (
+    PAPER_FIT,
+    XSCALE_FREQUENCIES_MHZ,
+    XSCALE_POWERS_MW,
+    xscale_frequency_set,
+    xscale_power_model,
+    xscale_table,
+)
+from repro.power.fitting import fit_power_model_full
+
+
+class TestTable:
+    def test_published_values(self):
+        assert XSCALE_FREQUENCIES_MHZ == (150.0, 400.0, 600.0, 800.0, 1000.0)
+        assert XSCALE_POWERS_MW == (80.0, 170.0, 400.0, 900.0, 1600.0)
+
+    def test_table_arrays(self):
+        f, p = xscale_table()
+        assert f.shape == p.shape == (5,)
+
+
+class TestPaperFit:
+    def test_published_coefficients(self):
+        m = xscale_power_model()
+        assert m.gamma == pytest.approx(3.855e-6)
+        assert m.alpha == pytest.approx(2.867)
+        assert m.static == pytest.approx(63.58)
+
+    def test_paper_fit_approximates_table(self):
+        f, p = xscale_table()
+        fitted = np.asarray(PAPER_FIT.power(f))
+        # the paper's own fit is within ~20% of each table point
+        assert np.all(np.abs(fitted - p) / p < 0.2)
+
+    def test_our_refit_is_at_least_as_good_as_published(self):
+        f, p = xscale_table()
+        ours = fit_power_model_full(f, p, alpha_range=(2.0, 3.2))
+        published_sse = float(np.sum((np.asarray(PAPER_FIT.power(f)) - p) ** 2))
+        assert ours.sse <= published_sse * 1.0001
+
+    def test_refit_close_to_paper_exponent(self):
+        m = xscale_power_model(refit=True)
+        assert m.alpha == pytest.approx(2.867, abs=0.15)
+        assert m.static == pytest.approx(63.58, rel=0.35)
+
+
+class TestFrequencySet:
+    def test_operating_points(self):
+        fs = xscale_frequency_set()
+        assert fs.f_min == 150.0
+        assert fs.f_max == 1000.0
+        assert len(fs) == 5
+
+    def test_power_at_points_is_measured(self):
+        fs = xscale_frequency_set()
+        assert fs.power(600.0) == pytest.approx(400.0)
+
+    def test_quantization_example(self):
+        fs = xscale_frequency_set()
+        q = fs.quantize_up(np.array([380.0, 650.0, 1001.0]))
+        np.testing.assert_allclose(q.frequencies[:2], [400.0, 800.0])
+        assert not q.feasible[2]

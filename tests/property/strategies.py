@@ -1,0 +1,39 @@
+"""Shared hypothesis strategies for property-based tests."""
+
+from __future__ import annotations
+
+from hypothesis import strategies as st
+
+from repro.core import Task, TaskSet
+from repro.power import PolynomialPower
+
+# Times/works drawn on coarse grids: keeps instances numerically benign
+# (well-separated boundaries) while still exploring the combinatorics.
+
+_release = st.integers(min_value=0, max_value=40).map(lambda k: k * 0.5)
+_window = st.integers(min_value=1, max_value=40).map(lambda k: k * 0.5)
+_work = st.integers(min_value=1, max_value=60).map(lambda k: k * 0.25)
+
+
+@st.composite
+def tasks_strategy(draw, min_size: int = 1, max_size: int = 10) -> TaskSet:
+    """Random small task sets with grid-aligned times."""
+    n = draw(st.integers(min_value=min_size, max_value=max_size))
+    out = []
+    for _ in range(n):
+        r = draw(_release)
+        w = draw(_window)
+        c = draw(_work)
+        out.append(Task(r, r + w, c))
+    return TaskSet(out)
+
+
+@st.composite
+def power_strategy(draw) -> PolynomialPower:
+    """Random power models in the paper's parameter ranges."""
+    alpha = draw(st.sampled_from([2.0, 2.25, 2.5, 2.75, 3.0]))
+    static = draw(st.sampled_from([0.0, 0.01, 0.05, 0.1, 0.2, 0.5]))
+    return PolynomialPower(alpha=alpha, static=static)
+
+
+cores_strategy = st.integers(min_value=1, max_value=6)

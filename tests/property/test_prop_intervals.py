@@ -1,0 +1,65 @@
+"""Property tests: subinterval decomposition invariants."""
+
+import numpy as np
+from hypothesis import given, settings
+
+from repro.core import Timeline
+
+from .strategies import cores_strategy, tasks_strategy
+
+
+@given(tasks_strategy())
+@settings(max_examples=80, deadline=None)
+def test_subintervals_partition_horizon(tasks):
+    tl = Timeline(tasks)
+    lo, hi = tasks.horizon
+    assert tl.boundaries[0] == lo
+    assert tl.boundaries[-1] == hi
+    assert np.all(np.diff(tl.boundaries) > 0)
+    assert np.isclose(tl.lengths.sum(), hi - lo)
+
+
+@given(tasks_strategy())
+@settings(max_examples=80, deadline=None)
+def test_every_task_covers_at_least_one_subinterval(tasks):
+    tl = Timeline(tasks)
+    assert np.all(tl.coverage.sum(axis=1) >= 1)
+
+
+@given(tasks_strategy())
+@settings(max_examples=80, deadline=None)
+def test_coverage_matches_window_containment(tasks):
+    tl = Timeline(tasks)
+    for sub in tl:
+        for i in range(len(tasks)):
+            inside = (
+                tasks.releases[i] <= sub.start and tasks.deadlines[i] >= sub.end
+            )
+            assert tl.coverage[i, sub.index] == inside
+
+
+@given(tasks_strategy())
+@settings(max_examples=80, deadline=None)
+def test_window_length_equals_sum_of_covered_subintervals(tasks):
+    tl = Timeline(tasks)
+    covered_len = tl.coverage @ tl.lengths
+    np.testing.assert_allclose(covered_len, tasks.windows)
+
+
+@given(tasks_strategy(), cores_strategy)
+@settings(max_examples=80, deadline=None)
+def test_heavy_light_is_a_partition(tasks, m):
+    tl = Timeline(tasks)
+    heavy = {s.index for s in tl.heavy(m)}
+    light = {s.index for s in tl.light(m)}
+    assert heavy | light == set(range(len(tl)))
+    assert heavy & light == set()
+
+
+@given(tasks_strategy())
+@settings(max_examples=50, deadline=None)
+def test_locate_is_consistent(tasks):
+    tl = Timeline(tasks)
+    for sub in tl:
+        mid = 0.5 * (sub.start + sub.end)
+        assert tl.locate(mid) == sub.index

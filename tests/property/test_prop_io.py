@@ -1,0 +1,42 @@
+"""Property tests: serialization round-trips on arbitrary instances."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.core import SubintervalScheduler
+from repro.io import (
+    schedule_from_json,
+    schedule_to_json,
+    taskset_from_csv,
+    taskset_from_json,
+    taskset_to_csv,
+    taskset_to_json,
+)
+
+from .strategies import power_strategy, tasks_strategy
+
+
+@given(tasks_strategy())
+@settings(max_examples=60, deadline=None)
+def test_json_roundtrip(tasks):
+    assert taskset_from_json(taskset_to_json(tasks)) == tasks
+
+
+@given(tasks_strategy())
+@settings(max_examples=60, deadline=None)
+def test_csv_roundtrip(tasks):
+    out = taskset_from_csv(taskset_to_csv(tasks))
+    assert len(out) == len(tasks)
+    for a, b in zip(out, tasks):
+        assert a.release == pytest.approx(b.release, rel=1e-10)
+        assert a.deadline == pytest.approx(b.deadline, rel=1e-10)
+        assert a.work == pytest.approx(b.work, rel=1e-10)
+
+
+@given(tasks_strategy(max_size=6), power_strategy())
+@settings(max_examples=20, deadline=None)
+def test_schedule_roundtrip_preserves_energy(tasks, power):
+    sched = SubintervalScheduler(tasks, 3, power).final("der").schedule
+    out = schedule_from_json(schedule_to_json(sched))
+    assert out.total_energy() == pytest.approx(sched.total_energy(), rel=1e-12)
+    assert len(out) == len(sched)

@@ -1,0 +1,45 @@
+"""Property tests: the online scheduler on arbitrary instances."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+
+from repro.core import OnlineSubintervalScheduler, SubintervalScheduler
+from repro.sim import assert_valid
+
+from .strategies import cores_strategy, power_strategy, tasks_strategy
+
+
+@given(tasks_strategy(max_size=7), cores_strategy, power_strategy())
+@settings(max_examples=30, deadline=None)
+def test_online_always_valid(tasks, m, power):
+    res = OnlineSubintervalScheduler(tasks, m, power).run()
+    assert_valid(res.schedule, tol=1e-6)
+
+
+@given(tasks_strategy(max_size=7), cores_strategy, power_strategy())
+@settings(max_examples=30, deadline=None)
+def test_online_work_conserved(tasks, m, power):
+    res = OnlineSubintervalScheduler(tasks, m, power).run()
+    np.testing.assert_allclose(
+        res.schedule.work_completed(), tasks.works, rtol=1e-6, atol=1e-9
+    )
+
+
+@given(tasks_strategy(max_size=7), cores_strategy, power_strategy())
+@settings(max_examples=30, deadline=None)
+def test_online_replan_count_bounded_by_releases(tasks, m, power):
+    res = OnlineSubintervalScheduler(tasks, m, power).run()
+    assert 1 <= res.replans <= len(np.unique(tasks.releases))
+
+
+@given(tasks_strategy(max_size=6), power_strategy())
+@settings(max_examples=20, deadline=None)
+def test_online_equals_offline_for_simultaneous_releases(tasks, power):
+    """If every task releases at the same instant, online IS offline."""
+    from repro.core import Task, TaskSet
+
+    sync = TaskSet(Task(0.0, t.window, t.work) for t in tasks)
+    on = OnlineSubintervalScheduler(sync, 3, power).run()
+    off = SubintervalScheduler(sync, 3, power).final("der")
+    assert on.energy == pytest.approx(off.energy, rel=1e-9)

@@ -1,0 +1,53 @@
+"""Property tests: the optimal solver against structural guarantees."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+
+from repro.core import SubintervalScheduler
+from repro.optimal import solve_optimal
+
+from .strategies import cores_strategy, power_strategy, tasks_strategy
+
+
+@given(tasks_strategy(max_size=7), cores_strategy, power_strategy())
+@settings(max_examples=25, deadline=None)
+def test_optimal_lower_bounds_heuristics(tasks, m, power):
+    opt = solve_optimal(tasks, m, power)
+    sch = SubintervalScheduler(tasks, m, power)
+    for res in sch.run_all().values():
+        assert opt.energy <= res.energy * (1 + 1e-6)
+
+
+@given(tasks_strategy(max_size=7), cores_strategy, power_strategy())
+@settings(max_examples=25, deadline=None)
+def test_optimal_solution_feasible(tasks, m, power):
+    opt = solve_optimal(tasks, m, power)
+    opt.problem.check_feasible(opt.x, tol=1e-6)
+    assert np.all(opt.available_times > 0)
+
+
+@given(tasks_strategy(max_size=7), power_strategy())
+@settings(max_examples=25, deadline=None)
+def test_optimal_never_below_critical_frequency(tasks, power):
+    """At the optimum no task runs below f_crit (static power would be
+    wasted) — the KKT structure the closed forms rely on."""
+    opt = solve_optimal(tasks, 2, power)
+    f_crit = power.critical_frequency()
+    assert np.all(opt.frequencies >= f_crit * (1 - 1e-4))
+
+
+@given(tasks_strategy(max_size=7), power_strategy())
+@settings(max_examples=20, deadline=None)
+def test_optimal_matches_ideal_with_enough_cores(tasks, power):
+    sch = SubintervalScheduler(tasks, len(tasks), power)
+    opt = solve_optimal(tasks, len(tasks), power)
+    assert opt.energy == pytest.approx(sch.ideal_energy, rel=1e-5)
+
+
+@given(tasks_strategy(max_size=6), power_strategy())
+@settings(max_examples=15, deadline=None)
+def test_monotone_in_cores(tasks, power):
+    e2 = solve_optimal(tasks, 2, power).energy
+    e4 = solve_optimal(tasks, 4, power).energy
+    assert e4 <= e2 * (1 + 1e-6)

@@ -1,0 +1,67 @@
+"""Property tests: the discrete-frequency (deployable) scheduler."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import PracticalScheduler
+from repro.power import DiscreteFrequencySet, PolynomialPower
+from repro.sim import ViolationKind, execute_schedule, validate_schedule
+
+from .strategies import cores_strategy, tasks_strategy
+
+
+@st.composite
+def fset_strategy(draw) -> DiscreteFrequencySet:
+    """Random small operating-point menus with a cube-ish fitted curve."""
+    n_points = draw(st.integers(min_value=2, max_value=5))
+    raw = draw(
+        st.lists(
+            st.floats(min_value=0.2, max_value=4.0),
+            min_size=n_points,
+            max_size=n_points,
+            unique=True,
+        )
+    )
+    freqs = np.array(sorted(raw))
+    fit = PolynomialPower(alpha=3.0, static=0.1)
+    powers = np.asarray(fit.power(freqs))
+    return DiscreteFrequencySet(freqs, powers, continuous_fit=fit)
+
+
+@given(tasks_strategy(max_size=6), cores_strategy, fset_strategy())
+@settings(max_examples=40, deadline=None)
+def test_practical_schedule_physically_sound(tasks, m, fset):
+    res = PracticalScheduler(tasks, m, fset).schedule("der")
+    # frequencies are always menu points
+    for seg in res.schedule:
+        assert any(abs(seg.frequency - f) < 1e-9 for f in fset.frequencies)
+    # no structural violations ever; work mismatch only on reported misses
+    issues = validate_schedule(res.schedule, tol=1e-6)
+    kinds = {v.kind for v in issues}
+    assert ViolationKind.CORE_CONFLICT not in kinds
+    assert ViolationKind.TASK_PARALLEL not in kinds
+    assert ViolationKind.OUTSIDE_WINDOW not in kinds
+    if res.all_deadlines_met:
+        assert ViolationKind.WORK_MISMATCH not in kinds
+
+
+@given(tasks_strategy(max_size=6), cores_strategy, fset_strategy())
+@settings(max_examples=30, deadline=None)
+def test_practical_replay_matches_energy(tasks, m, fset):
+    res = PracticalScheduler(tasks, m, fset).schedule("der")
+    rep = execute_schedule(res.schedule)
+    assert np.isclose(rep.total_energy, res.energy, rtol=1e-9)
+
+
+@given(tasks_strategy(max_size=6), cores_strategy, fset_strategy())
+@settings(max_examples=30, deadline=None)
+def test_misses_exactly_when_plan_exceeds_fmax(tasks, m, fset):
+    res = PracticalScheduler(tasks, m, fset).schedule("der")
+    over = set(
+        int(i)
+        for i in np.flatnonzero(
+            res.planned_frequencies > fset.f_max * (1 + 1e-9)
+        )
+    )
+    assert set(res.missed_tasks) == over

@@ -1,0 +1,32 @@
+"""Property tests: §V's proven relations hold on arbitrary instances."""
+
+from hypothesis import given, settings
+
+from repro.core import certify_instance
+from repro.optimal import solve_optimal
+
+from .strategies import cores_strategy, power_strategy, tasks_strategy
+
+
+@given(tasks_strategy(max_size=8), cores_strategy, power_strategy())
+@settings(max_examples=40, deadline=None)
+def test_guaranteed_relations(tasks, m, power):
+    report = certify_instance(tasks, m, power)
+    assert report.all_guaranteed_hold, report.summary()
+
+
+@given(tasks_strategy(max_size=6), cores_strategy, power_strategy())
+@settings(max_examples=15, deadline=None)
+def test_relations_with_exact_optimum(tasks, m, power):
+    opt = solve_optimal(tasks, m, power)
+    report = certify_instance(tasks, m, power, optimal_energy=opt.energy)
+    assert report.all_guaranteed_hold, report.summary()
+
+
+@given(tasks_strategy(max_size=6), cores_strategy, power_strategy())
+@settings(max_examples=15, deadline=None)
+def test_ideal_lower_bounds_optimum_without_static_power(tasks, m, power):
+    zero = power.with_static(0.0)
+    opt = solve_optimal(tasks, m, zero)
+    report = certify_instance(tasks, m, zero, optimal_energy=opt.energy)
+    assert report.ideal_below_optimal is True

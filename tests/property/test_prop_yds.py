@@ -1,0 +1,46 @@
+"""Property tests: YDS validity and optimality on arbitrary instances."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.baselines import yds_schedule
+from repro.optimal import solve_optimal
+from repro.power import PolynomialPower
+from repro.sim import assert_valid, execute_schedule
+
+from .strategies import tasks_strategy
+
+_CUBE = PolynomialPower(alpha=3.0, static=0.0)
+
+
+@given(tasks_strategy(max_size=7))
+@settings(max_examples=40, deadline=None)
+def test_yds_schedule_always_valid(tasks):
+    res = yds_schedule(tasks, _CUBE)
+    assert_valid(res.schedule, tol=1e-6)
+
+
+@given(tasks_strategy(max_size=7))
+@settings(max_examples=40, deadline=None)
+def test_yds_meets_all_deadlines(tasks):
+    res = yds_schedule(tasks, _CUBE)
+    rep = execute_schedule(res.schedule)
+    assert rep.all_deadlines_met
+
+
+@given(tasks_strategy(max_size=6))
+@settings(max_examples=20, deadline=None)
+def test_yds_is_optimal_without_static_power(tasks):
+    res = yds_schedule(tasks, _CUBE)
+    opt = solve_optimal(tasks, 1, _CUBE)
+    assert res.energy == pytest.approx(opt.energy, rel=1e-4)
+
+
+@given(tasks_strategy(max_size=7))
+@settings(max_examples=30, deadline=None)
+def test_yds_speeds_monotone_nonincreasing(tasks):
+    """YDS peels critical intervals in nonincreasing intensity order."""
+    res = yds_schedule(tasks, _CUBE)
+    speeds = [ci.speed for ci in res.critical_intervals]
+    for a, b in zip(speeds, speeds[1:]):
+        assert b <= a + 1e-9

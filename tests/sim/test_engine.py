@@ -1,0 +1,66 @@
+"""Unit tests for the discrete-event engine."""
+
+import pytest
+
+from repro.sim import EventQueue, SimulationClock
+
+
+class TestEventQueue:
+    def test_time_ordering(self):
+        q = EventQueue()
+        q.push(3.0, "c")
+        q.push(1.0, "a")
+        q.push(2.0, "b")
+        assert [q.pop().kind for _ in range(3)] == ["a", "b", "c"]
+
+    def test_priority_breaks_ties(self):
+        q = EventQueue()
+        q.push(1.0, "late", priority=5)
+        q.push(1.0, "early", priority=0)
+        assert q.pop().kind == "early"
+
+    def test_insertion_order_breaks_remaining_ties(self):
+        q = EventQueue()
+        q.push(1.0, "first")
+        q.push(1.0, "second")
+        assert q.pop().kind == "first"
+        assert q.pop().kind == "second"
+
+    def test_peek_time(self):
+        q = EventQueue()
+        assert q.peek_time() is None
+        q.push(4.0, "x")
+        assert q.peek_time() == 4.0
+        assert len(q) == 1
+
+    def test_pop_empty_raises(self):
+        with pytest.raises(IndexError):
+            EventQueue().pop()
+
+    def test_payload_carried(self):
+        q = EventQueue()
+        q.push(0.0, "k", payload={"a": 1})
+        assert q.pop().payload == {"a": 1}
+
+    def test_bool(self):
+        q = EventQueue()
+        assert not q
+        q.push(0.0, "k")
+        assert q
+
+
+class TestClock:
+    def test_advances(self):
+        c = SimulationClock()
+        c.advance_to(5.0)
+        assert c.now == 5.0
+
+    def test_no_time_travel(self):
+        c = SimulationClock(10.0)
+        with pytest.raises(ValueError):
+            c.advance_to(5.0)
+
+    def test_tolerates_jitter(self):
+        c = SimulationClock(1.0)
+        c.advance_to(1.0 - 1e-12)  # within tolerance
+        assert c.now == 1.0

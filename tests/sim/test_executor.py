@@ -1,0 +1,79 @@
+"""Unit tests for the schedule executor (replay)."""
+
+import pytest
+
+from repro.core import Schedule, Segment, SubintervalScheduler, TaskSet
+from repro.power import PolynomialPower
+from repro.sim import CoreBusyError, execute_schedule
+from tests.conftest import random_instance
+
+
+@pytest.fixture
+def power():
+    return PolynomialPower(alpha=3.0, static=0.1)
+
+
+class TestReplay:
+    def test_energy_matches_analytic(self, power):
+        ts = TaskSet.from_tuples([(0, 10, 4), (0, 10, 2)])
+        segs = [Segment(0, 0, 0.0, 8.0, 0.5), Segment(1, 1, 0.0, 4.0, 0.5)]
+        sched = Schedule(ts, 2, power, segs)
+        rep = execute_schedule(sched)
+        assert rep.total_energy == pytest.approx(sched.total_energy())
+
+    def test_back_to_back_segments_on_one_core(self, power):
+        ts = TaskSet.from_tuples([(0, 10, 2), (0, 10, 2)])
+        segs = [Segment(0, 0, 0.0, 2.0, 1.0), Segment(1, 0, 2.0, 4.0, 1.0)]
+        rep = execute_schedule(Schedule(ts, 1, power, segs))
+        assert rep.all_deadlines_met
+
+    def test_conflicting_segments_raise(self, power):
+        ts = TaskSet.from_tuples([(0, 10, 2), (0, 10, 2)])
+        segs = [Segment(0, 0, 0.0, 3.0, 1.0), Segment(1, 0, 2.0, 4.0, 1.0)]
+        with pytest.raises(CoreBusyError):
+            execute_schedule(Schedule(ts, 1, power, segs))
+
+    def test_miss_reported_not_raised(self, power):
+        # schedule finishes after the deadline: soft failure
+        ts = TaskSet.from_tuples([(0, 4, 4)])
+        segs = [Segment(0, 0, 0.0, 8.0, 0.5)]
+        rep = execute_schedule(Schedule(ts, 1, power, segs))
+        assert rep.deadline_misses == [0]
+        assert not rep.all_deadlines_met
+
+    def test_incomplete_work_is_a_miss(self, power):
+        ts = TaskSet.from_tuples([(0, 4, 4)])
+        segs = [Segment(0, 0, 0.0, 2.0, 1.0)]  # only half the work
+        rep = execute_schedule(Schedule(ts, 1, power, segs))
+        assert rep.deadline_misses == [0]
+
+    def test_per_core_energy_sums(self, power):
+        ts = TaskSet.from_tuples([(0, 10, 4), (0, 10, 2)])
+        segs = [Segment(0, 0, 0.0, 8.0, 0.5), Segment(1, 1, 0.0, 4.0, 0.5)]
+        rep = execute_schedule(Schedule(ts, 2, power, segs))
+        assert sum(rep.per_core_energy) == pytest.approx(rep.total_energy)
+
+    def test_empty_schedule(self, power):
+        ts = TaskSet.from_tuples([(0, 10, 4)])
+        rep = execute_schedule(Schedule(ts, 1, power, []))
+        assert rep.total_energy == 0.0
+        assert rep.deadline_misses == [0]  # no work done
+
+
+class TestEndToEnd:
+    @pytest.mark.parametrize("seed", range(4))
+    @pytest.mark.parametrize("method", ["even", "der"])
+    def test_pipeline_schedules_replay_exactly(self, seed, method):
+        tasks, power = random_instance(seed)
+        res = SubintervalScheduler(tasks, 4, power).final(method)
+        rep = execute_schedule(res.schedule)
+        assert rep.all_deadlines_met
+        assert rep.total_energy == pytest.approx(res.energy, rel=1e-9)
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_intermediate_schedules_replay(self, seed):
+        tasks, power = random_instance(seed)
+        res = SubintervalScheduler(tasks, 4, power).intermediate("der")
+        rep = execute_schedule(res.schedule)
+        assert rep.all_deadlines_met
+        assert rep.total_energy == pytest.approx(res.energy, rel=1e-7)

@@ -1,0 +1,67 @@
+"""Tests for exact power profiles."""
+
+import numpy as np
+import pytest
+
+from repro.core import Schedule, Segment, SubintervalScheduler, TaskSet
+from repro.power import PolynomialPower
+from repro.sim import power_trace
+from tests.conftest import random_instance
+
+
+@pytest.fixture
+def power():
+    return PolynomialPower(alpha=3.0, static=0.1)
+
+
+class TestStepFunction:
+    def test_single_segment(self, power):
+        ts = TaskSet.from_tuples([(0, 10, 4)])
+        sched = Schedule(ts, 1, power, [Segment(0, 0, 2.0, 6.0, 1.0)])
+        tr = power_trace(sched)
+        assert tr.at(1.0) == 0.0  # before
+        assert tr.at(3.0) == pytest.approx(1.1)
+        assert tr.at(7.0) == 0.0  # after
+        assert tr.energy == pytest.approx(sched.total_energy())
+
+    def test_overlapping_cores_sum(self, power):
+        ts = TaskSet.from_tuples([(0, 10, 4), (0, 10, 4)])
+        segs = [Segment(0, 0, 0.0, 4.0, 1.0), Segment(1, 1, 2.0, 6.0, 2.0)]
+        tr = power_trace(Schedule(ts, 2, power, segs))
+        assert tr.at(1.0) == pytest.approx(1.1)
+        assert tr.at(3.0) == pytest.approx(1.1 + 8.1)
+        assert tr.at(5.0) == pytest.approx(8.1)
+        assert tr.peak_power == pytest.approx(9.2)
+
+    def test_energy_integral_cross_check(self):
+        tasks, power = random_instance(0, n=12)
+        sched = SubintervalScheduler(tasks, 4, power).final("der").schedule
+        tr = power_trace(sched)
+        assert tr.energy == pytest.approx(sched.total_energy(), rel=1e-9)
+
+    def test_average_power(self, power):
+        ts = TaskSet.from_tuples([(0, 10, 4)])
+        sched = Schedule(ts, 1, power, [Segment(0, 0, 0.0, 4.0, 1.0)])
+        tr = power_trace(sched)
+        assert tr.average_power == pytest.approx(1.1)  # span is [0, 4]
+
+    def test_empty_schedule(self, power):
+        ts = TaskSet.from_tuples([(0, 10, 4)])
+        tr = power_trace(Schedule(ts, 1, power, []))
+        assert tr.energy == 0.0
+        assert tr.peak_power == 0.0
+
+    def test_svg_renders(self):
+        tasks, power = random_instance(1, n=6)
+        sched = SubintervalScheduler(tasks, 2, power).final("der").schedule
+        svg = power_trace(sched).to_svg(title="test")
+        assert svg.startswith("<svg")
+        import xml.etree.ElementTree as ET
+
+        ET.fromstring(svg)
+
+    def test_shape_validation(self):
+        from repro.sim.power_trace import PowerTrace
+
+        with pytest.raises(ValueError):
+            PowerTrace(times=np.array([0.0, 1.0]), levels=np.array([1.0, 2.0]))

@@ -1,0 +1,77 @@
+"""Unit tests for simulated cores."""
+
+import pytest
+
+from repro.power import PolynomialPower
+from repro.sim import CoreBusyError, SimCore, SimProcessor
+
+
+@pytest.fixture
+def power():
+    return PolynomialPower(alpha=3.0, static=0.1)
+
+
+class TestSimCore:
+    def test_energy_integration(self, power):
+        core = SimCore(index=0, power=power)
+        core.start(0.0, task_id=7, frequency=2.0)
+        tid, work = core.stop(3.0)
+        assert tid == 7
+        assert work == pytest.approx(6.0)
+        assert core.energy == pytest.approx((8 + 0.1) * 3)
+        assert core.active_time == pytest.approx(3.0)
+
+    def test_sleep_consumes_nothing(self, power):
+        core = SimCore(index=0, power=power)
+        core.start(0.0, 1, 1.0)
+        core.stop(1.0)
+        core.start(5.0, 2, 1.0)  # idle from 1 to 5
+        core.stop(6.0)
+        assert core.energy == pytest.approx((1 + 0.1) * 2)
+
+    def test_double_start_raises(self, power):
+        core = SimCore(index=0, power=power)
+        core.start(0.0, 1, 1.0)
+        with pytest.raises(CoreBusyError):
+            core.start(1.0, 2, 1.0)
+
+    def test_stop_when_sleeping_raises(self, power):
+        with pytest.raises(RuntimeError):
+            SimCore(index=0, power=power).stop(1.0)
+
+    def test_stop_before_start_raises(self, power):
+        core = SimCore(index=0, power=power)
+        core.start(5.0, 1, 1.0)
+        with pytest.raises(ValueError):
+            core.stop(4.0)
+
+    def test_nonpositive_frequency_rejected(self, power):
+        core = SimCore(index=0, power=power)
+        with pytest.raises(ValueError):
+            core.start(0.0, 1, 0.0)
+
+
+class TestSimProcessor:
+    def test_construction(self, power):
+        proc = SimProcessor(4, power)
+        assert len(proc) == 4
+        assert proc[2].index == 2
+
+    def test_rejects_bad_m(self, power):
+        with pytest.raises(ValueError):
+            SimProcessor(0, power)
+
+    def test_totals(self, power):
+        proc = SimProcessor(2, power)
+        proc[0].start(0.0, 1, 1.0)
+        proc[1].start(0.0, 2, 2.0)
+        proc.stop_all(2.0)
+        assert proc.total_active_time == pytest.approx(4.0)
+        assert proc.total_energy == pytest.approx((1.1 + 8.1) * 2)
+
+    def test_idle_and_executing_queries(self, power):
+        proc = SimProcessor(2, power)
+        proc[0].start(0.0, 9, 1.0)
+        assert [c.index for c in proc.idle_cores()] == [1]
+        assert proc.executing(9).index == 0
+        assert proc.executing(42) is None

@@ -1,0 +1,72 @@
+"""Unit tests for execution traces and task outcomes."""
+
+import numpy as np
+import pytest
+
+from repro.core import TaskSet
+from repro.sim import ExecutionTrace, TraceRecord
+
+
+@pytest.fixture
+def tasks():
+    return TaskSet.from_tuples([(0, 10, 4), (0, 6, 2)])
+
+
+def _rec(task, core, start, end, f, e=1.0):
+    return TraceRecord(task_id=task, core=core, start=start, end=end, frequency=f, energy=e)
+
+
+class TestTraceRecord:
+    def test_derived(self):
+        r = _rec(0, 0, 1.0, 3.0, 2.0)
+        assert r.duration == 2.0
+        assert r.work == pytest.approx(4.0)
+
+
+class TestExecutionTrace:
+    def test_sorted_iteration(self, tasks):
+        tr = ExecutionTrace(tasks, 2, [_rec(0, 0, 5, 6, 1), _rec(1, 1, 0, 2, 1)])
+        assert tr[0].start == 0
+
+    def test_total_energy(self, tasks):
+        tr = ExecutionTrace(tasks, 2, [_rec(0, 0, 0, 1, 1, e=2.5), _rec(1, 1, 0, 1, 1, e=1.5)])
+        assert tr.total_energy == pytest.approx(4.0)
+
+    def test_completion_time_interpolated(self, tasks):
+        # task 0 needs 4 work; gets 2 in [0,2] and 4 in [2,6] at f=1:
+        # completes at t=4 (half-way through the second record)
+        tr = ExecutionTrace(
+            tasks, 1, [_rec(0, 0, 0, 2, 1.0), _rec(0, 0, 2, 6, 1.0)]
+        )
+        out = tr.task_outcomes()[0]
+        assert out.completed
+        assert out.completion_time == pytest.approx(4.0)
+        assert out.met_deadline
+        assert out.lateness == pytest.approx(-6.0)
+
+    def test_unfinished_task(self, tasks):
+        tr = ExecutionTrace(tasks, 1, [_rec(0, 0, 0, 1, 1.0)])
+        out = tr.task_outcomes()[0]
+        assert not out.completed
+        assert out.lateness == float("inf")
+        assert 0 in tr.deadline_misses()
+
+    def test_late_task(self, tasks):
+        # task 1 (deadline 6) finishes at 8
+        tr = ExecutionTrace(tasks, 1, [_rec(1, 0, 6, 8, 1.0)])
+        out = tr.task_outcomes()[1]
+        assert out.completed and not out.met_deadline
+        assert out.lateness == pytest.approx(2.0)
+
+    def test_core_utilization(self, tasks):
+        tr = ExecutionTrace(tasks, 2, [_rec(0, 0, 0, 5, 1.0)])
+        util = tr.core_utilization()  # horizon is [0, 10]
+        np.testing.assert_allclose(util, [0.5, 0.0])
+
+    def test_by_core_and_by_task(self, tasks):
+        tr = ExecutionTrace(
+            tasks, 2, [_rec(0, 0, 0, 1, 1), _rec(1, 1, 0, 1, 1), _rec(0, 1, 2, 3, 1)]
+        )
+        assert len(tr.by_core(1)) == 2
+        assert len(tr.by_task(0)) == 2
+        assert len(tr) == 3

@@ -1,0 +1,88 @@
+"""Failure-injection tests: every validator detector must fire."""
+
+import pytest
+
+from repro.core import Schedule, Segment, TaskSet
+from repro.power import PolynomialPower
+from repro.sim import ViolationKind, assert_valid, validate_schedule
+
+
+@pytest.fixture
+def tasks():
+    return TaskSet.from_tuples([(0, 10, 4), (2, 8, 2)])
+
+
+@pytest.fixture
+def power():
+    return PolynomialPower(alpha=3.0, static=0.0)
+
+
+def _sched(tasks, power, segs, m=2):
+    return Schedule(tasks, m, power, segs)
+
+
+class TestDetectors:
+    def test_valid_schedule_passes(self, tasks, power):
+        segs = [Segment(0, 0, 0.0, 8.0, 0.5), Segment(1, 1, 2.0, 6.0, 0.5)]
+        assert validate_schedule(_sched(tasks, power, segs)) == []
+        assert_valid(_sched(tasks, power, segs))
+
+    def test_before_release_detected(self, tasks, power):
+        segs = [Segment(1, 0, 0.0, 4.0, 0.5), Segment(0, 1, 0.0, 8.0, 0.5)]
+        kinds = {v.kind for v in validate_schedule(_sched(tasks, power, segs))}
+        assert ViolationKind.OUTSIDE_WINDOW in kinds
+
+    def test_after_deadline_detected(self, tasks, power):
+        segs = [Segment(1, 0, 5.0, 9.0, 0.5), Segment(0, 1, 0.0, 8.0, 0.5)]
+        kinds = {v.kind for v in validate_schedule(_sched(tasks, power, segs))}
+        assert ViolationKind.OUTSIDE_WINDOW in kinds
+
+    def test_core_conflict_detected(self, tasks, power):
+        segs = [
+            Segment(0, 0, 0.0, 8.0, 0.5),
+            Segment(1, 0, 4.0, 8.0, 0.5),  # same core, overlapping
+        ]
+        kinds = {v.kind for v in validate_schedule(_sched(tasks, power, segs))}
+        assert ViolationKind.CORE_CONFLICT in kinds
+
+    def test_task_parallelism_detected(self, tasks, power):
+        segs = [
+            Segment(0, 0, 0.0, 4.0, 0.5),
+            Segment(0, 1, 2.0, 6.0, 0.5),  # same task on two cores at once
+        ]
+        kinds = {v.kind for v in validate_schedule(_sched(tasks, power, segs))}
+        assert ViolationKind.TASK_PARALLEL in kinds
+
+    def test_work_mismatch_detected(self, tasks, power):
+        segs = [Segment(0, 0, 0.0, 4.0, 0.5), Segment(1, 1, 2.0, 6.0, 0.5)]
+        kinds = {v.kind for v in validate_schedule(_sched(tasks, power, segs))}
+        assert ViolationKind.WORK_MISMATCH in kinds
+
+    def test_work_check_can_be_disabled(self, tasks, power):
+        segs = [Segment(0, 0, 0.0, 4.0, 0.5), Segment(1, 1, 2.0, 6.0, 0.5)]
+        assert (
+            validate_schedule(_sched(tasks, power, segs), check_completion=False)
+            == []
+        )
+
+    def test_touching_segments_are_fine(self, tasks, power):
+        segs = [
+            Segment(0, 0, 0.0, 4.0, 1.0),
+            Segment(1, 0, 4.0, 8.0, 0.5),  # same core, touching at t=4
+        ]
+        hard = [
+            v
+            for v in validate_schedule(_sched(tasks, power, segs), check_completion=False)
+            if v.kind == ViolationKind.CORE_CONFLICT
+        ]
+        assert hard == []
+
+    def test_assert_valid_message_lists_violations(self, tasks, power):
+        segs = [Segment(0, 0, 0.0, 4.0, 0.5)]
+        with pytest.raises(AssertionError, match="WORK_MISMATCH"):
+            assert_valid(_sched(tasks, power, segs))
+
+    def test_violation_str(self, tasks, power):
+        segs = [Segment(0, 0, 0.0, 4.0, 0.5)]
+        v = validate_schedule(_sched(tasks, power, segs))[0]
+        assert "WORK_MISMATCH" in str(v)

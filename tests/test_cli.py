@@ -1,0 +1,189 @@
+"""Tests for the command-line interface (in-process, no subprocesses)."""
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.io import load_schedule, load_taskset
+
+
+@pytest.fixture
+def task_file(tmp_path):
+    path = tmp_path / "tasks.json"
+    assert main(["generate", str(path), "-n", "8", "--seed", "5"]) == 0
+    return path
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["frobnicate"])
+
+    def test_defaults(self):
+        args = build_parser().parse_args(["schedule", "t.json"])
+        assert args.cores == 4
+        assert args.method == "der"
+        assert args.alpha == 3.0
+
+
+class TestGenerate:
+    def test_writes_valid_taskset(self, task_file):
+        tasks = load_taskset(task_file)
+        assert len(tasks) == 8
+
+    def test_deterministic(self, tmp_path):
+        a, b = tmp_path / "a.json", tmp_path / "b.json"
+        main(["generate", str(a), "--seed", "9"])
+        main(["generate", str(b), "--seed", "9"])
+        assert load_taskset(a) == load_taskset(b)
+
+    def test_csv_output(self, tmp_path):
+        path = tmp_path / "tasks.csv"
+        assert main(["generate", str(path), "-n", "5"]) == 0
+        assert len(load_taskset(path)) == 5
+
+    def test_xscale_generator(self, tmp_path):
+        path = tmp_path / "x.json"
+        assert main(["generate", str(path), "--xscale", "-n", "6"]) == 0
+        tasks = load_taskset(path)
+        assert all(t.work >= 4000 for t in tasks)
+
+
+class TestSchedule:
+    def test_schedules_and_saves(self, task_file, tmp_path, capsys):
+        out = tmp_path / "sched.json"
+        code = main(
+            ["schedule", str(task_file), "--static", "0.1", "-o", str(out)]
+        )
+        assert code == 0
+        captured = capsys.readouterr().out
+        assert "S^F2" in captured
+        assert "validation: OK" in captured
+        sched = load_schedule(out)
+        assert sched.completes_all(rtol=1e-6)
+
+    def test_even_method(self, task_file, capsys):
+        assert main(["schedule", str(task_file), "--method", "even"]) == 0
+        assert "S^F1" in capsys.readouterr().out
+
+    def test_online_method(self, task_file, capsys):
+        assert main(["schedule", str(task_file), "--method", "online"]) == 0
+        assert "re-plans" in capsys.readouterr().out
+
+    def test_gantt_flag(self, task_file, capsys):
+        main(["schedule", str(task_file), "--gantt"])
+        assert "M1 |" in capsys.readouterr().out
+
+    def test_svg_output(self, task_file, tmp_path):
+        svg = tmp_path / "sched.svg"
+        main(["schedule", str(task_file), "--svg", str(svg)])
+        assert svg.read_text().startswith("<svg")
+
+
+class TestOptimal:
+    def test_reports_energy(self, task_file, capsys):
+        assert main(["optimal", str(task_file), "--static", "0.1"]) == 0
+        out = capsys.readouterr().out
+        assert "optimal energy" in out
+        assert "interior-point" in out
+
+    def test_alternate_solver(self, task_file, capsys):
+        assert (
+            main(["optimal", str(task_file), "--solver", "projected-gradient"]) == 0
+        )
+        assert "projected-gradient" in capsys.readouterr().out
+
+    def test_optimal_not_above_heuristic(self, task_file, capsys):
+        main(["schedule", str(task_file), "--static", "0.1"])
+        sched_out = capsys.readouterr().out
+        e_sched = float(
+            next(l for l in sched_out.splitlines() if l.startswith("energy:")).split()[1]
+        )
+        main(["optimal", str(task_file), "--static", "0.1"])
+        opt_out = capsys.readouterr().out
+        e_opt = float(
+            next(
+                l for l in opt_out.splitlines() if l.startswith("optimal energy:")
+            ).split()[2]
+        )
+        assert e_opt <= e_sched * (1 + 1e-6)
+
+
+class TestInspect:
+    def test_valid_schedule(self, task_file, tmp_path, capsys):
+        out = tmp_path / "sched.json"
+        main(["schedule", str(task_file), "--static", "0.1", "-o", str(out)])
+        capsys.readouterr()
+        assert main(["inspect", str(out)]) == 0
+        text = capsys.readouterr().out
+        assert "replayed energy" in text
+        assert "deadline misses: none" in text
+
+    def test_invalid_schedule_flagged(self, task_file, tmp_path, capsys):
+        out = tmp_path / "sched.json"
+        main(["schedule", str(task_file), "--static", "0.1", "-o", str(out)])
+        payload = json.loads(out.read_text())
+        payload["segments"] = payload["segments"][:1]  # drop most of the work
+        out.write_text(json.dumps(payload))
+        capsys.readouterr()
+        assert main(["inspect", str(out)]) == 1
+        assert "INVALID" in capsys.readouterr().out
+
+
+class TestReport:
+    def test_generates_report(self, tmp_path, capsys):
+        (tmp_path / "fig8.csv").write_text(
+            "m,Idl,I1,F1,I2,F2\n2,0.7,3.3,2.8,1.8,1.4\n12,1,1,1,1,1.0\n"
+        )
+        assert main(["report", str(tmp_path)]) == 0
+        assert "Claims passed" in capsys.readouterr().out
+
+    def test_writes_file(self, tmp_path):
+        (tmp_path / "fig8.csv").write_text(
+            "m,Idl,I1,F1,I2,F2\n2,0.7,3.3,2.8,1.8,1.4\n12,1,1,1,1,1.0\n"
+        )
+        out = tmp_path / "report.md"
+        main(["report", str(tmp_path), "-o", str(out)])
+        assert out.read_text().startswith("# Reproduction report")
+
+    def test_failing_claims_exit_nonzero(self, tmp_path):
+        (tmp_path / "fig8.csv").write_text(
+            "m,Idl,I1,F1,I2,F2\n2,1,1,1,1,1.0\n12,1,1,1,1,1.5\n"
+        )
+        assert main(["report", str(tmp_path)]) == 1
+
+    def test_missing_dir(self, tmp_path, capsys):
+        assert main(["report", str(tmp_path / "nope")]) == 1
+        assert "not a directory" in capsys.readouterr().out
+
+
+class TestExperiment:
+    def test_runs_small_figure(self, capsys, tmp_path):
+        csv = tmp_path / "fig8.csv"
+        code = main(
+            ["experiment", "fig8", "--reps", "2", "--csv", str(csv)]
+        )
+        assert code == 0
+        assert "Fig. 8" in capsys.readouterr().out
+        assert csv.exists()
+
+    def test_runs_ablation(self, capsys):
+        assert main(["experiment", "ablation-switching", "--reps", "2"]) == 0
+        assert "switching" in capsys.readouterr().out
+
+    def test_runs_core_selection(self, capsys):
+        assert main(["experiment", "core-selection", "--reps", "2"]) == 0
+        assert "core-count" in capsys.readouterr().out
+
+    def test_runs_online_ablation(self, capsys):
+        assert main(["experiment", "ablation-online", "--reps", "1"]) == 0
+        assert "Online" in capsys.readouterr().out
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["experiment", "fig99"])

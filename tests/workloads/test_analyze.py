@@ -1,0 +1,75 @@
+"""Tests for workload characterization."""
+
+import numpy as np
+import pytest
+
+from repro.core import TaskSet
+from repro.workloads.analyze import profile_taskset
+
+
+@pytest.fixture
+def profile(six_tasks):
+    return profile_taskset(six_tasks)
+
+
+class TestProfiles:
+    def test_parallelism_matches_timeline(self, profile, six_tasks):
+        np.testing.assert_array_equal(
+            profile.parallelism, profile.timeline.overlap_counts
+        )
+        assert profile.peak_parallelism == 5
+
+    def test_fluid_load_is_sum_of_live_intensities(self, profile, six_tasks):
+        j = profile.timeline.locate(8.0)
+        expected = sum(six_tasks.intensities[i] for i in profile.timeline[j].task_ids)
+        assert profile.fluid_load[j] == pytest.approx(expected)
+
+    def test_mean_fluid_load_time_weighted(self):
+        # one task live half the horizon at intensity 1
+        ts = TaskSet.from_tuples([(0, 5, 5), (0, 10, 0.0001)])
+        p = profile_taskset(ts)
+        assert p.mean_fluid_load == pytest.approx(0.5, abs=0.01)
+
+    def test_utilization(self, profile, six_tasks):
+        lo, hi = six_tasks.horizon
+        expected = six_tasks.total_work / (4 * (hi - lo))
+        assert profile.utilization(4) == pytest.approx(expected)
+
+    def test_heavy_fraction(self, profile):
+        # heavy subintervals [8,10] and [12,14]: 4 of 22 time units
+        assert profile.heavy_fraction(4) == pytest.approx(4 / 22)
+        assert profile.heavy_fraction(5) == 0.0
+
+    def test_min_cores_fluid_bound(self, profile):
+        # peak fluid load during [8,10]: 4/5+7/8+2/3+1/2+5/6 = 3.6667 -> 4 cores
+        assert profile.min_cores_fluid() == 4
+
+    def test_min_cores_bound_is_necessary(self):
+        """No feasible unit-cap schedule can use fewer cores than the bound."""
+        from repro.core import AdmissionController
+        from repro.power import PolynomialPower
+
+        ts = TaskSet.from_tuples([(0, 4, 4)] * 3)  # fluid load 3.0
+        p = profile_taskset(ts)
+        need = p.min_cores_fluid(1.0)
+        assert need == 3
+        power = PolynomialPower(3.0, 0.0)
+        assert not AdmissionController(need - 1, power, f_max=1.0).is_schedulable(ts)
+        assert AdmissionController(need, power, f_max=1.0).is_schedulable(ts)
+
+    def test_intensity_histogram(self, profile):
+        counts, edges = profile.intensity_histogram(bins=10)
+        assert counts.sum() == 6
+        assert len(edges) == 11
+
+    def test_format(self, profile):
+        text = profile.format(m=4)
+        assert "6 tasks" in text
+        assert "parallelism" in text
+        assert "heavy fraction" in text
+
+    def test_validation(self, profile):
+        with pytest.raises(ValueError):
+            profile.utilization(0)
+        with pytest.raises(ValueError):
+            profile.min_cores_fluid(0.0)

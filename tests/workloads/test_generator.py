@@ -1,0 +1,104 @@
+"""Unit tests for the random workload generators."""
+
+import numpy as np
+import pytest
+
+from repro.workloads import (
+    PaperWorkloadConfig,
+    bursty_workload,
+    intensity_menu,
+    paper_workload,
+    xscale_workload,
+)
+
+
+class TestIntensityMenu:
+    def test_default_menu(self):
+        np.testing.assert_allclose(intensity_menu(), np.arange(1, 11) / 10)
+
+    def test_restricted_menu(self):
+        np.testing.assert_allclose(intensity_menu(0.5, 1.0), [0.5, 0.6, 0.7, 0.8, 0.9, 1.0])
+
+    def test_single_value(self):
+        np.testing.assert_allclose(intensity_menu(1.0, 1.0), [1.0])
+
+    def test_rejects_bad_range(self):
+        with pytest.raises(ValueError):
+            intensity_menu(0.0, 1.0)
+        with pytest.raises(ValueError):
+            intensity_menu(0.8, 0.5)
+
+
+class TestPaperWorkload:
+    def test_parameter_ranges(self, rng):
+        ts = paper_workload(rng, PaperWorkloadConfig(n_tasks=200))
+        assert len(ts) == 200
+        assert np.all(ts.releases >= 0) and np.all(ts.releases <= 200)
+        assert np.all(ts.works >= 10) and np.all(ts.works <= 30)
+        # intensities land exactly on the menu
+        menu = intensity_menu()
+        for val in ts.intensities:
+            assert np.min(np.abs(menu - val)) < 1e-9
+
+    def test_deadline_formula(self, rng):
+        ts = paper_workload(rng, PaperWorkloadConfig(n_tasks=50))
+        np.testing.assert_allclose(
+            ts.deadlines, ts.releases + ts.works / ts.intensities
+        )
+
+    def test_restricted_intensity_range(self, rng):
+        cfg = PaperWorkloadConfig(n_tasks=100, intensity_low=0.7)
+        ts = paper_workload(rng, cfg)
+        assert np.all(ts.intensities >= 0.7 - 1e-9)
+
+    def test_deterministic_given_seed(self):
+        a = paper_workload(np.random.default_rng(5))
+        b = paper_workload(np.random.default_rng(5))
+        assert a == b
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            PaperWorkloadConfig(n_tasks=0)
+        with pytest.raises(ValueError):
+            PaperWorkloadConfig(work_range=(0.0, 5.0))
+        with pytest.raises(ValueError):
+            PaperWorkloadConfig(release_range=(10.0, 5.0))
+
+
+class TestXscaleWorkload:
+    def test_parameter_ranges(self, rng):
+        ts = xscale_workload(rng, n_tasks=100)
+        assert np.all(ts.works >= 4000) and np.all(ts.works <= 8000)
+        # every task feasible at f2 = 400 MHz: intensity vs 400 is <= 1
+        assert np.all(ts.works / ts.windows <= 400 + 1e-9)
+
+    def test_deadline_uses_f2(self, rng):
+        ts = xscale_workload(rng, n_tasks=20, f2_mhz=400.0)
+        # required frequency = intensity * 400 <= 400
+        req = ts.works / ts.windows
+        assert np.all(req <= 400.0 + 1e-9)
+        assert np.all(req >= 0.1 * 400.0 - 1e-9)
+
+
+class TestBurstyWorkload:
+    def test_structure(self, rng):
+        ts = bursty_workload(rng, n_bursts=3, tasks_per_burst=5)
+        assert len(ts) == 15
+        assert ts[0].name.startswith("b0")
+
+    def test_bursts_create_contention(self, rng):
+        from repro.core import Timeline
+
+        ts = bursty_workload(rng, n_bursts=2, tasks_per_burst=8, horizon=100.0)
+        tl = Timeline(ts)
+        assert tl.max_overlap() >= 8  # a burst overlaps heavily
+
+    def test_validation(self, rng):
+        with pytest.raises(ValueError):
+            bursty_workload(rng, n_bursts=0)
+        with pytest.raises(ValueError):
+            bursty_workload(rng, slack_factor=1.0)
+
+    def test_feasible_windows(self, rng):
+        ts = bursty_workload(rng, slack_factor=2.0)
+        assert np.all(ts.intensities <= 0.5 + 1e-9)

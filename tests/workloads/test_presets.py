@@ -1,0 +1,45 @@
+"""Unit tests for the paper-example presets."""
+
+import numpy as np
+import pytest
+
+from repro.workloads import (
+    SIX_TASK_EXPECTED,
+    fig3_power,
+    intro_example,
+    motivational_power,
+    six_task_example,
+)
+
+
+def test_intro_example_values():
+    ts = intro_example()
+    np.testing.assert_array_equal(ts.releases, [0, 2, 4])
+    np.testing.assert_array_equal(ts.deadlines, [12, 10, 8])
+    np.testing.assert_array_equal(ts.works, [4, 2, 4])
+
+
+def test_motivational_power():
+    p = motivational_power()
+    assert p.alpha == 3.0
+    assert p.static == 0.01
+
+
+def test_six_task_example_values():
+    ts = six_task_example()
+    assert len(ts) == 6
+    np.testing.assert_array_equal(ts.releases, [0, 2, 4, 6, 8, 12])
+    np.testing.assert_array_equal(ts.works, [8, 14, 8, 4, 10, 6])
+    np.testing.assert_array_equal(ts.deadlines, [10, 18, 16, 14, 20, 22])
+
+
+def test_six_task_expected_intensities():
+    ts = six_task_example()
+    np.testing.assert_allclose(
+        ts.intensities, SIX_TASK_EXPECTED["ideal_frequencies"]
+    )
+
+
+def test_fig3_power():
+    p = fig3_power()
+    assert p.critical_frequency() == pytest.approx(0.5)
