@@ -1,0 +1,22 @@
+# Developer entry points.  `make check` is what CI runs: lint (when ruff is
+# available locally) plus the tier-1 test suite.
+
+PYTHON ?= python
+export PYTHONPATH := src
+
+.PHONY: check lint test bench
+
+check: lint test
+
+lint:
+	@if command -v ruff >/dev/null 2>&1; then \
+		ruff check src tests benchmarks; \
+	else \
+		echo "ruff not installed; skipping lint (CI runs it)"; \
+	fi
+
+test:
+	$(PYTHON) -m pytest -x -q
+
+bench:
+	$(PYTHON) -m pytest benchmarks -q -s

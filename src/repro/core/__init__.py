@@ -23,7 +23,7 @@ from .intervals import Subinterval, Timeline, build_timeline
 from .schedule import Schedule, Segment
 from .scheduler import SchedulingResult, SubintervalScheduler, schedule_taskset
 from .task import Task, TaskSet
-from .wrap_schedule import Slot, wrap_schedule
+from .wrap_schedule import PackedSlots, Slot, pack_matrix, pack_matrix_flat, wrap_schedule
 
 __all__ = [
     "Task",
@@ -48,8 +48,11 @@ __all__ = [
     "PracticalScheduler",
     "AdmissionController",
     "AdmissionDecision",
+    "PackedSlots",
     "Slot",
     "wrap_schedule",
+    "pack_matrix",
+    "pack_matrix_flat",
     "FrequencyAssignment",
     "refine_frequencies",
     "best_single_frequency",

@@ -17,12 +17,22 @@ for ``m·Δ`` core-time (``Δ = t_{j+1} − t_j``).  Two allocation policies:
 times over *all* subintervals — lightly overlapped ones contribute the whole
 ``Δ`` to each overlapping task (Observation 2) — yielding each task's total
 available time ``A_i``, the input to the final frequency refinement.
+
+Two assembly paths produce the same matrix:
+
+* the **vectorized** default (``method="even"``/``"der"``) builds ``x`` in
+  one batched pass: light subintervals via the coverage mask, heavy
+  subintervals via an even-split broadcast or a closed-form water-filling
+  over the batched DER matrix (see :func:`_waterfill_capped`);
+* the **scalar reference** (``method="even_scalar"``/``"der_scalar"``)
+  retains the original per-subinterval Python loop, kept as the oracle for
+  the equivalence tests and the hot-path benchmark.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Literal
+from typing import Literal, Mapping
 
 import numpy as np
 
@@ -33,12 +43,16 @@ from .task import TaskSet
 __all__ = [
     "allocate_evenly",
     "allocate_der",
+    "allocate_proportional",
     "AllocationPlan",
     "build_allocation_plan",
     "AllocationMethod",
 ]
 
-AllocationMethod = Literal["even", "der"]
+AllocationMethod = Literal["even", "der", "even_scalar", "der_scalar"]
+
+_SCALAR_SUFFIX = "_scalar"
+_BASE_METHODS = ("even", "der")
 
 
 def allocate_evenly(sub: Subinterval, m: int) -> dict[int, float]:
@@ -66,7 +80,10 @@ def allocate_proportional(
     share is ``w(τ) / W_rem · T_rem`` where ``W_rem`` is the remaining weight
     pool and ``T_rem`` the remaining core-time; shares above ``Δ`` are capped
     at ``Δ`` and the remainder re-normalized.  Zero-weight tasks receive zero
-    time.
+    time — except when *every* weight is zero, in which case the split falls
+    back to :func:`allocate_evenly` so that no capacity is stranded
+    (Observation 2's intent: available time must not be starved just because
+    the weighting carries no information).
 
     The DER-based method is this with DER weights; the ablation experiments
     plug in alternative weightings (total work, intensity).
@@ -80,10 +97,13 @@ def allocate_proportional(
         if weights.get(tid, 0.0) < 0:
             raise ValueError(f"negative weight for task {tid}")
     delta = sub.length
+    w_rem = sum(weights.get(tid, 0.0) for tid in ids)
+    if w_rem <= 0.0:
+        # all-zero weights: proportional shares are undefined — even split
+        return allocate_evenly(sub, m)
     # decreasing weight; stable tie-break on task id for determinism
     order = sorted(ids, key=lambda tid: (-weights.get(tid, 0.0), tid))
     alloc: dict[int, float] = {tid: 0.0 for tid in ids}
-    w_rem = sum(weights.get(tid, 0.0) for tid in ids)
     t_rem = m * delta
     for tid in order:
         if w_rem <= 0.0 or t_rem <= 0.0:
@@ -115,9 +135,6 @@ def allocate_der(
         for tid in sub.task_ids
     }
     return allocate_proportional(sub, m, ders)
-
-
-_METHODS: dict[str, str] = {"even": "even", "der": "der"}
 
 
 @dataclass(frozen=True)
@@ -169,10 +186,140 @@ class AllocationPlan:
         totals = self.x.sum(axis=0)
         if np.any(totals > self.m * lengths * (1 + rtol) + rtol):
             raise AssertionError("subinterval over-committed beyond m·Δ")
+        # no starvation: every subinterval with overlapping tasks must hand
+        # out some of its capacity (the zero-weight even-split fallback
+        # guarantees this for both allocation policies)
+        if np.any((self.timeline.overlap_counts > 0) & (totals <= 0.0)):
+            raise AssertionError(
+                "overlapped subinterval allocates no time (starvation)"
+            )
 
     def heavy_subintervals(self) -> list[Subinterval]:
         """The heavily overlapped subintervals of the plan's timeline."""
         return self.timeline.heavy(self.m)
+
+
+def _waterfill_capped(
+    w: np.ndarray, delta: np.ndarray, m: int
+) -> np.ndarray:
+    """Closed-form Algorithm 2 over many heavy subintervals at once.
+
+    Algorithm 2's sequential greedy — decreasing-weight order, share
+    ``w/W_rem · T_rem`` capped at ``Δ`` with re-normalization — is exactly
+    capped proportional water-filling: because the ratio ``T_rem/W_rem``
+    never decreases along the pass and weights are visited in decreasing
+    order, the capped tasks always form a prefix of the sorted order.  The
+    final allocation is therefore ``min(w_i · r*, Δ)`` where
+    ``r* = (m·Δ − k·Δ) / (W − P_k)`` for the smallest prefix size ``k`` with
+    ``w_(k+1) · (m·Δ − k·Δ) ≤ Δ · (W − P_k)`` (``P_k`` the sorted prefix
+    sum).  That smallest ``k`` is found for every column in one batched
+    argmax over the cumulative-sum matrix — no per-task loop.
+
+    ``w`` is the ``(n_tasks, H)`` weight matrix of the heavy columns (zero
+    outside coverage), ``delta`` the column lengths.  Columns whose total
+    weight is zero return all-zero allocations; the caller applies the
+    even-split fallback there.
+    """
+    n, H = w.shape
+    if H == 0:
+        return np.zeros((n, 0))
+    T = m * delta
+    # the number of capped tasks never exceeds m, so only the m + 1 largest
+    # weights per column matter: an O(n) partition instead of a full sort,
+    # and every cumulative matrix shrinks from n to m + 1 rows
+    K = min(m + 1, n)
+    neg = np.partition(-w, K - 1, axis=0)[:K]
+    neg.sort(axis=0)
+    ws = -neg  # (K, H) descending top weights per column
+    wtot = w.sum(axis=0)
+    P = np.cumsum(ws, axis=0)
+    prefix = np.vstack([np.zeros((1, H)), P[:-1]])  # weight removed before step k
+    k = np.arange(K, dtype=np.float64)[:, None]
+    # the remaining-pool clamp keeps the k = m row exactly true (0 <= 0)
+    # even when fp dust drives wtot - prefix a hair negative
+    uncapped = ws * (T[None, :] - k * delta[None, :]) <= delta[None, :] * np.maximum(
+        wtot[None, :] - prefix, 0.0
+    )
+    # first uncapped position = number of capped tasks; guaranteed to exist
+    # for heavy columns (at k = m the remaining capacity is zero)
+    kstar = np.argmax(uncapped, axis=0)
+    cols = np.arange(H)
+    t_rem = np.maximum(T - kstar * delta, 0.0)
+    w_rem = wtot - prefix[kstar, cols]
+    r = np.divide(t_rem, w_rem, out=np.zeros(H), where=w_rem > 0)
+    alloc = np.minimum(w * r[None, :], delta[None, :])
+    # columns where every positive-weight task was capped before the pool
+    # emptied (w_rem == 0 with time left): each of them holds Δ outright
+    exhausted = ~(w_rem > 0)
+    if exhausted.any():
+        alloc[:, exhausted] = np.where(
+            w[:, exhausted] > 0, delta[exhausted], 0.0
+        )
+    return alloc
+
+
+def _assemble_vectorized(
+    timeline: Timeline,
+    m: int,
+    base: str,
+    ideal: IdealSolution | None,
+) -> np.ndarray:
+    """One batched pass over all subintervals (the hot path)."""
+    cov = timeline.coverage
+    lengths = timeline.lengths
+    counts = timeline.overlap_counts
+    heavy = counts > m
+
+    # Observation 2: light subintervals grant the full length to every
+    # overlapping task; heavy columns are overwritten below
+    x = np.where(cov, lengths[None, :], 0.0)
+
+    if not heavy.any():
+        return x
+
+    d_h = lengths[heavy]
+    n_h = counts[heavy]
+    cov_h = cov[:, heavy]
+    if base == "even":
+        x[:, heavy] = np.where(cov_h, np.minimum(m * d_h / n_h, d_h), 0.0)
+        return x
+
+    assert ideal is not None
+    w = np.where(cov_h, ideal.der_matrix(timeline)[:, heavy], 0.0)
+    alloc = _waterfill_capped(w, d_h, m)
+    # all-zero-DER columns: proportional shares are undefined — even split,
+    # mirroring allocate_proportional's fallback
+    zero = w.sum(axis=0) <= 0.0
+    if zero.any():
+        even = np.where(cov_h, np.minimum(m * d_h / n_h, d_h), 0.0)
+        alloc[:, zero] = even[:, zero]
+    x[:, heavy] = alloc
+    return x
+
+
+def _assemble_scalar(
+    timeline: Timeline,
+    m: int,
+    base: str,
+    ideal: IdealSolution | None,
+) -> np.ndarray:
+    """The original per-subinterval loop, kept as the reference oracle."""
+    x = np.zeros((len(timeline.tasks), len(timeline)))
+    for sub in timeline:
+        if sub.n_overlapping == 0:
+            continue
+        if sub.is_heavy(m):
+            if base == "even":
+                alloc = allocate_evenly(sub, m)
+            else:
+                assert ideal is not None
+                alloc = allocate_der(sub, m, ideal)
+            for tid, t in alloc.items():
+                x[tid, sub.index] = t
+        else:
+            for tid in sub.task_ids:
+                x[tid, sub.index] = sub.length
+    return x
 
 
 def build_allocation_plan(
@@ -184,34 +331,26 @@ def build_allocation_plan(
     """Assemble the ``x[i, j]`` matrix for either allocation policy.
 
     Lightly overlapped subintervals always contribute their full length to
-    every overlapping task (Observation 2); heavily overlapped ones go
-    through :func:`allocate_evenly` or :func:`allocate_der`.
+    every overlapping task (Observation 2); heavily overlapped ones receive
+    the even split or the Algorithm-2 DER shares.
 
-    ``ideal`` is required for the DER method (it defines the DERs).
+    ``"even"``/``"der"`` run the vectorized batched assembly; the
+    ``"even_scalar"``/``"der_scalar"`` reference methods run the original
+    per-subinterval loop (they agree to ``rtol=1e-9``, enforced by the
+    property suite).  ``ideal`` is required for the DER methods (it defines
+    the DERs).
     """
     if m < 1:
         raise ValueError("m must be >= 1")
-    if method not in _METHODS:
+    scalar = isinstance(method, str) and method.endswith(_SCALAR_SUFFIX)
+    base = method[: -len(_SCALAR_SUFFIX)] if scalar else method
+    if base not in _BASE_METHODS:
         raise ValueError(f"unknown allocation method {method!r}")
-    if method == "der" and ideal is None:
+    if base == "der" and ideal is None:
         raise ValueError("DER-based allocation requires the ideal solution")
 
-    n = len(timeline.tasks)
-    x = np.zeros((n, len(timeline)))
-    for sub in timeline:
-        if sub.n_overlapping == 0:
-            continue
-        if sub.is_heavy(m):
-            if method == "even":
-                alloc = allocate_evenly(sub, m)
-            else:
-                assert ideal is not None
-                alloc = allocate_der(sub, m, ideal)
-            for tid, t in alloc.items():
-                x[tid, sub.index] = t
-        else:
-            for tid in sub.task_ids:
-                x[tid, sub.index] = sub.length
+    assemble = _assemble_scalar if scalar else _assemble_vectorized
+    x = assemble(timeline, m, base, ideal)
     plan = AllocationPlan(timeline=timeline, m=m, method=method, x=x)
     plan.check()
     return plan

@@ -74,23 +74,46 @@ class IdealSolution:
         """``U_i^O`` for one task."""
         return (float(self.starts[task_id]), float(self.ends[task_id]))
 
-    def overlap_with(self, start: float, end: float) -> np.ndarray:
+    def overlap_with(
+        self,
+        start: float | np.ndarray,
+        end: float | np.ndarray,
+    ) -> np.ndarray:
         """``|U_i^O ∩ [start, end]|`` for every task, vectorized.
 
         This is the execution time the ideal schedule spends inside the given
         subinterval — the quantity multiplied by ``f_i^O`` to obtain the DER.
+
+        ``start``/``end`` may be scalars (one subinterval, shape ``(n,)``
+        result) or equal-length arrays of ``k`` subinterval boundaries, in
+        which case all overlaps are computed in one batched pass and the
+        result has shape ``(n, k)``.
         """
-        lo = np.maximum(self.starts, start)
-        hi = np.minimum(self.ends, end)
-        return np.maximum(hi - lo, 0.0)
+        start_a = np.asarray(start, dtype=np.float64)
+        end_a = np.asarray(end, dtype=np.float64)
+        if start_a.ndim == 0:
+            lo = np.maximum(self.starts, start_a)
+            hi = np.minimum(self.ends, end_a)
+            return np.maximum(hi - lo, 0.0)
+        if start_a.shape != end_a.shape or start_a.ndim != 1:
+            raise ValueError("start and end must be scalars or equal-length 1-D arrays")
+        lo = np.maximum(self.starts[:, None], start_a[None, :])
+        hi = np.minimum(self.ends[:, None], end_a[None, :])
+        np.subtract(hi, lo, out=hi)
+        return np.maximum(hi, 0.0, out=hi)
 
     def subinterval_times(self, timeline: Timeline) -> np.ndarray:
         """Matrix ``o[i, j] = |U_i^O ∩ [t_j, t_{j+1}]|`` over a timeline."""
-        starts = timeline.boundaries[:-1]
-        ends = timeline.boundaries[1:]
-        lo = np.maximum(self.starts[:, None], starts[None, :])
-        hi = np.minimum(self.ends[:, None], ends[None, :])
-        return np.maximum(hi - lo, 0.0)
+        return self.overlap_with(timeline.boundaries[:-1], timeline.boundaries[1:])
+
+    def der_matrix(self, timeline: Timeline) -> np.ndarray:
+        """Batched DER weights ``c[i, j] = |U_i^O ∩ [t_j, t_{j+1}]| · f_i^O``.
+
+        One vectorized pass over *all* subintervals at once — the input to
+        the vectorized Algorithm 2 water-filling in
+        :func:`repro.core.allocation.build_allocation_plan`.
+        """
+        return self.subinterval_times(timeline) * self.frequencies[:, None]
 
 
 def solve_ideal(tasks: TaskSet, power: PolynomialPower) -> IdealSolution:

@@ -76,9 +76,25 @@ class Timeline:
 
     __slots__ = ("tasks", "boundaries", "_subintervals", "_coverage")
 
-    def __init__(self, tasks: TaskSet):
+    def __init__(
+        self,
+        tasks: TaskSet,
+        extra_boundaries: Sequence[float] | np.ndarray | None = None,
+    ):
         self.tasks = tasks
-        self.boundaries = tasks.event_times()
+        boundaries = tasks.event_times()
+        if extra_boundaries is not None:
+            extra = np.asarray(list(extra_boundaries), dtype=np.float64)
+            if extra.size:
+                lo, hi = boundaries[0], boundaries[-1]
+                if np.any((extra < lo) | (extra > hi)):
+                    raise ValueError(
+                        "extra boundaries must lie inside the horizon "
+                        f"[{lo:g}, {hi:g}]"
+                    )
+                boundaries = np.unique(np.concatenate([boundaries, extra]))
+        boundaries.setflags(write=False)
+        self.boundaries = boundaries
         starts = self.boundaries[:-1]
         ends = self.boundaries[1:]
         # coverage[i, j]: R_i <= t_j and D_i >= t_{j+1}
@@ -87,11 +103,13 @@ class Timeline:
         )
         cov.setflags(write=False)
         self._coverage = cov
-        subs = []
-        for j, (s, e) in enumerate(zip(starts, ends)):
-            ids = tuple(int(i) for i in np.flatnonzero(cov[:, j]))
-            subs.append(Subinterval(j, float(s), float(e), ids))
-        self._subintervals: tuple[Subinterval, ...] = tuple(subs)
+        # one nonzero pass + split instead of a flatnonzero per column
+        jj, ii = np.nonzero(cov.T)
+        groups = np.split(ii, np.searchsorted(jj, np.arange(1, cov.shape[1])))
+        self._subintervals: tuple[Subinterval, ...] = tuple(
+            Subinterval(j, float(s), float(e), tuple(ids.tolist()))
+            for j, (s, e, ids) in enumerate(zip(starts, ends, groups))
+        )
 
     # -- container protocol -----------------------------------------------------
 
@@ -129,6 +147,12 @@ class Timeline:
         return self._coverage.sum(axis=0)
 
     # -- queries -----------------------------------------------------------------
+
+    def heavy_mask(self, m: int) -> np.ndarray:
+        """Boolean array — True where subinterval ``j`` is heavily overlapped."""
+        if m < 1:
+            raise ValueError("m must be >= 1")
+        return self.overlap_counts > m
 
     def heavy(self, m: int) -> list[Subinterval]:
         """Heavily overlapped subintervals for an ``m``-core processor."""
@@ -180,11 +204,17 @@ class Timeline:
         return bool(np.all(self.lengths > 0)) and m >= 1
 
 
-def build_timeline(tasks: TaskSet | Sequence) -> Timeline:
+def build_timeline(
+    tasks: TaskSet | Sequence,
+    extra_boundaries: Sequence[float] | None = None,
+) -> Timeline:
     """Construct the :class:`Timeline` for ``tasks``.
 
     Accepts a :class:`TaskSet` or any iterable of ``(R, D, C)`` triples.
+    ``extra_boundaries`` refines the decomposition with additional in-horizon
+    split points (task windows still span whole subintervals, so all
+    per-subinterval reasoning remains exact).
     """
     if not isinstance(tasks, TaskSet):
         tasks = TaskSet.from_tuples(tasks)
-    return Timeline(tasks)
+    return Timeline(tasks, extra_boundaries=extra_boundaries)

@@ -30,7 +30,7 @@ from .ideal import IdealSolution, solve_ideal
 from .intervals import Timeline
 from .schedule import Schedule, Segment
 from .task import TaskSet
-from .wrap_schedule import Slot, wrap_schedule
+from .wrap_schedule import PackedSlots, Slot, pack_matrix_flat, wrap_schedule
 
 __all__ = [
     "SchedulingResult",
@@ -111,11 +111,27 @@ class SubintervalScheduler:
 
     # -- slot construction -----------------------------------------------------------
 
-    def _slots(self, plan: AllocationPlan) -> list[list[Slot]]:
-        """Per-subinterval collision-free slots for the plan's allocations.
+    def _slots_flat(self, plan: AllocationPlan) -> PackedSlots:
+        """Collision-free slots for the plan's allocations, as flat arrays.
 
-        Heavy subintervals go through Algorithm 1; in light subintervals each
-        overlapping task owns one core outright.
+        One batched cumulative-sum pass (:func:`pack_matrix_flat`): heavy
+        subintervals get Algorithm 1's wrap packing, light subintervals give
+        each overlapping task its own core.  This is the production hot
+        path — no :class:`Slot` objects are materialized.
+        """
+        return pack_matrix_flat(
+            self.timeline.boundaries, plan.x, self.m, self.timeline.overlap_counts
+        )
+
+    def _slots(self, plan: AllocationPlan) -> list[list[Slot]]:
+        """Per-subinterval :class:`Slot` lists (list view of the flat pack)."""
+        return self._slots_flat(plan).to_slot_lists()
+
+    def _slots_scalar(self, plan: AllocationPlan) -> list[list[Slot]]:
+        """Per-subinterval scalar reference for :meth:`_slots`.
+
+        The original Python loop over subintervals, kept as the oracle for
+        the packing-equivalence tests and the hot-path benchmark.
         """
         out: list[list[Slot]] = []
         for sub in self.timeline:
@@ -135,18 +151,6 @@ class SubintervalScheduler:
                     ]
                 )
         return out
-
-    @staticmethod
-    def _slots_by_task(
-        slots_per_sub: list[list[Slot]], n_tasks: int
-    ) -> list[list[Slot]]:
-        per_task: list[list[Slot]] = [[] for _ in range(n_tasks)]
-        for slots in slots_per_sub:
-            for s in slots:
-                per_task[s.task_id].append(s)
-        for lst in per_task:
-            lst.sort(key=lambda s: s.start)
-        return per_task
 
     # -- final schedules (S^F1 / S^F2) --------------------------------------------------
 
@@ -180,6 +184,16 @@ class SubintervalScheduler:
         if plan.timeline is not self.timeline:
             if plan.timeline.tasks != self.tasks or plan.m != self.m:
                 raise ValueError("plan belongs to a different instance")
+            # same tasks and m do not imply the same decomposition (e.g. a
+            # refined timeline with extra boundaries): subinterval indices
+            # must line up or plan.x would be read against the wrong columns
+            if not np.array_equal(
+                plan.timeline.boundaries, self.timeline.boundaries
+            ):
+                raise ValueError(
+                    "plan timeline uses a different subinterval decomposition "
+                    "than this scheduler"
+                )
         plan.check()
         assign = refine_frequencies(self.tasks.works, plan.available_times, self.power)
         segments = self._fill_slots(plan, assign.frequencies, assign.used_times)
@@ -198,28 +212,46 @@ class SubintervalScheduler:
         frequencies: np.ndarray,
         used_times: np.ndarray,
     ) -> list[Segment]:
-        slots_per_sub = self._slots(plan)
-        per_task = self._slots_by_task(slots_per_sub, len(self.tasks))
-        segments: list[Segment] = []
-        for tid, slots in enumerate(per_task):
-            remaining = float(used_times[tid])
-            f = float(frequencies[tid])
-            for slot in slots:
-                if remaining <= _EPS:
-                    break
-                take = min(slot.duration, remaining)
-                if take <= _EPS:
-                    continue
-                segments.append(
-                    Segment(tid, slot.core, slot.start, slot.start + take, f)
-                )
-                remaining -= take
-            if remaining > 1e-6 * max(float(used_times[tid]), 1.0):
-                raise AssertionError(
-                    f"task {tid}: could not place {remaining} of its execution "
-                    "time into available slots (allocation bug)"
-                )
-        return segments
+        """Cut each task's earliest slots down to its used time, batched.
+
+        Per task (slots in time order) the kept prefix is a cumulative-sum
+        cut: slot ``k`` contributes ``clip(used − prefix_k, 0, duration_k)``.
+        """
+        ps = self._slots_flat(plan)
+        if len(ps) == 0:
+            return []
+        order = np.lexsort((ps.start, ps.task))
+        t = ps.task[order]
+        start = ps.start[order]
+        dur = ps.durations[order]
+        cum = np.cumsum(dur)
+        first = np.flatnonzero(np.r_[True, t[1:] != t[:-1]])
+        base = np.zeros(len(self.tasks))
+        base[t[first]] = cum[first] - dur[first]
+        prefix = cum - dur - base[t]  # slot time before this slot, per task
+        take = np.clip(used_times[t] - prefix, 0.0, dur)
+
+        placed = np.bincount(t, weights=take, minlength=len(self.tasks))
+        short = used_times - placed
+        bad = short > 1e-6 * np.maximum(used_times, 1.0)
+        if np.any(bad):
+            tid = int(np.flatnonzero(bad)[0])
+            raise AssertionError(
+                f"task {tid}: could not place {short[tid]} of its execution "
+                "time into available slots (allocation bug)"
+            )
+
+        keep = take > _EPS
+        return list(
+            map(
+                Segment,
+                t[keep].tolist(),
+                ps.core[order][keep].tolist(),
+                start[keep].tolist(),
+                (start[keep] + take[keep]).tolist(),
+                frequencies[t[keep]].tolist(),
+            )
+        )
 
     # -- intermediate schedules (S^I1 / S^I2) ----------------------------------------------
 
@@ -270,34 +302,25 @@ class SubintervalScheduler:
 
         Within each subinterval the *used* times (≤ allocated times) are
         packed with Algorithm 1 directly, so feasibility follows from the
-        allocation's feasibility.
+        allocation's feasibility.  Packing runs through the same batched
+        cumulative-sum pass as :meth:`_slots_flat`.
         """
-        segments: list[Segment] = []
-        for sub in self.timeline:
-            if sub.n_overlapping == 0:
-                continue
-            j = sub.index
-            used = {
-                tid: float(time_used[tid, j])
-                for tid in sub.task_ids
-                if active[tid, j]
-            }
-            if not used:
-                continue
-            if sub.is_heavy(self.m):
-                slots = wrap_schedule(sub.start, sub.end, used, self.m)
-            else:
-                slots = [
-                    Slot(tid, core, sub.start, sub.start + t)
-                    for core, (tid, t) in enumerate(used.items())
-                ]
-            for s in slots:
-                if s.duration <= _EPS:
-                    continue
-                segments.append(
-                    Segment(s.task_id, s.core, s.start, s.end, float(freq[s.task_id, j]))
-                )
-        return segments
+        used = np.where(active, time_used, 0.0)
+        ps = pack_matrix_flat(
+            self.timeline.boundaries, used, self.m, self.timeline.overlap_counts
+        )
+        keep = ps.durations > _EPS
+        task = ps.task[keep]
+        return list(
+            map(
+                Segment,
+                task.tolist(),
+                ps.core[keep].tolist(),
+                ps.start[keep].tolist(),
+                ps.end[keep].tolist(),
+                freq[task, ps.sub[keep]].tolist(),
+            )
+        )
 
     # -- one-call convenience --------------------------------------------------------------
 

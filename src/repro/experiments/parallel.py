@@ -21,12 +21,23 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..analysis.metrics import NecSample
     from .runner import PointSpec
 
-__all__ = ["parallel_replications", "default_workers"]
+__all__ = ["parallel_replications", "default_workers", "chunk_size"]
 
 
 def default_workers() -> int:
     """A conservative worker count: physical parallelism minus one."""
     return max((os.cpu_count() or 2) - 1, 1)
+
+
+def chunk_size(n_items: int, workers: int) -> int:
+    """Chunked-submission size: about four chunks per worker, at least 1.
+
+    Small batches (``n_items < workers * 4``) degrade to per-item submission
+    so every worker still gets work.
+    """
+    if workers < 1:
+        raise ValueError("workers must be >= 1")
+    return max(n_items // (workers * 4), 1)
 
 
 def _replication_worker(args: tuple) -> "NecSample":
@@ -51,7 +62,7 @@ def parallel_replications(
         from .runner import run_replication
 
         return [run_replication(spec, s) for s in seeds]
-    chunk = max(len(seeds) // (workers * 4), 1)
+    chunk = chunk_size(len(seeds), workers)
     with ProcessPoolExecutor(max_workers=workers) as pool:
         return list(
             pool.map(_replication_worker, [(spec, s) for s in seeds], chunksize=chunk)

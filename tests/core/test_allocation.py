@@ -159,3 +159,113 @@ class TestAllocationPlan:
         plan = build_allocation_plan(tl, 4, "even")
         with pytest.raises(ValueError):
             plan.x[0, 0] = 99.0
+
+    def test_check_catches_starved_subinterval(self, six_setup):
+        tl, ideal = six_setup
+        plan = build_allocation_plan(tl, 4, "der", ideal=ideal)
+        bad = plan.x.copy()
+        bad.setflags(write=True)
+        bad[:, tl.locate(8.0)] = 0.0  # five tasks overlap, nothing allocated
+        from repro.core.allocation import AllocationPlan
+
+        broken = AllocationPlan(timeline=tl, m=4, method="der", x=bad)
+        with pytest.raises(AssertionError, match="starvation"):
+            broken.check()
+
+
+class TestScalarReference:
+    """The *_scalar methods run the original loop and must agree exactly."""
+
+    def test_method_string_preserved(self, six_setup):
+        tl, ideal = six_setup
+        plan = build_allocation_plan(tl, 4, "der_scalar", ideal=ideal)
+        assert plan.method == "der_scalar"
+
+    def test_even_bitwise_equal(self, six_setup):
+        tl, _ = six_setup
+        vec = build_allocation_plan(tl, 4, "even")
+        ref = build_allocation_plan(tl, 4, "even_scalar")
+        assert np.array_equal(vec.x, ref.x)
+
+    def test_der_matches_on_paper_example(self, six_setup):
+        tl, ideal = six_setup
+        vec = build_allocation_plan(tl, 4, "der", ideal=ideal)
+        ref = build_allocation_plan(tl, 4, "der_scalar", ideal=ideal)
+        np.testing.assert_allclose(vec.x, ref.x, rtol=1e-9, atol=1e-12)
+
+    @pytest.mark.parametrize("seed", range(6))
+    @pytest.mark.parametrize("m", [1, 2, 4, 8])
+    def test_der_matches_on_random_instances(self, seed, m):
+        from tests.conftest import random_instance
+
+        tasks, power = random_instance(seed, n=18)
+        tl = Timeline(tasks)
+        ideal = solve_ideal(tasks, power)
+        vec = build_allocation_plan(tl, m, "der", ideal=ideal)
+        ref = build_allocation_plan(tl, m, "der_scalar", ideal=ideal)
+        np.testing.assert_allclose(vec.x, ref.x, rtol=1e-9, atol=1e-12)
+
+    def test_scalar_requires_ideal_too(self, six_setup):
+        tl, _ = six_setup
+        with pytest.raises(ValueError, match="ideal"):
+            build_allocation_plan(tl, 4, "der_scalar")
+
+
+class TestZeroWeightFallback:
+    """All-zero DER in a heavy subinterval falls back to the even split."""
+
+    @staticmethod
+    def _all_zero_der_instance():
+        # p(f) = f² + 0.25 → f_crit = 0.5: the three [0, 6] tasks finish
+        # their ideal execution by t = 2, so every DER in [4, 6] is zero.
+        # Task (0, 4, 1) only contributes the boundary at t = 4.
+        power = PolynomialPower(alpha=2.0, static=0.25)
+        ts = TaskSet.from_tuples([(0, 6, 1), (0, 6, 1), (0, 6, 1), (0, 4, 1)])
+        tl = Timeline(ts)
+        return tl, solve_ideal(ts, power)
+
+    def test_heavy_all_zero_gets_even_split(self):
+        tl, ideal = self._all_zero_der_instance()
+        sub = tl[tl.locate(4.0)]
+        assert sub.is_heavy(2)
+        alloc = allocate_der(sub, 2, ideal)
+        assert all(
+            alloc[tid] == pytest.approx(2 * sub.length / 3) for tid in sub.task_ids
+        )
+
+    def test_plan_passes_check_both_paths(self):
+        tl, ideal = self._all_zero_der_instance()
+        for method in ("der", "der_scalar"):
+            plan = build_allocation_plan(tl, 2, method, ideal=ideal)
+            plan.check()
+            assert np.all(plan.available_times > 0)
+
+    def test_vectorized_matches_scalar(self):
+        tl, ideal = self._all_zero_der_instance()
+        vec = build_allocation_plan(tl, 2, "der", ideal=ideal)
+        ref = build_allocation_plan(tl, 2, "der_scalar", ideal=ideal)
+        np.testing.assert_allclose(vec.x, ref.x, rtol=1e-9, atol=1e-12)
+
+    def test_refined_frequencies_stay_bounded(self):
+        # without the fallback the [4, 6] capacity is stranded, shrinking
+        # A_i and inflating the refined frequencies downstream
+        from repro.core import SubintervalScheduler
+
+        power = PolynomialPower(alpha=2.0, static=0.25)
+        ts = TaskSet.from_tuples([(0, 6, 1), (0, 6, 1), (0, 6, 1), (0, 4, 1)])
+        res = SubintervalScheduler(ts, 2, power).final("der")
+        assert np.all(np.isfinite(res.frequencies))
+        assert res.energy > 0
+
+
+class TestModuleAnnotations:
+    def test_type_hints_resolve(self):
+        # regression: `Mapping` used in an annotation but not imported made
+        # typing.get_type_hints blow up with NameError under postponed
+        # annotation evaluation
+        import typing
+
+        from repro.core import allocation
+
+        hints = typing.get_type_hints(allocation.allocate_proportional)
+        assert "weights" in hints

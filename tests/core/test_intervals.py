@@ -119,3 +119,49 @@ class TestProperties:
 
     def test_feasible_max_load(self, simple_timeline):
         assert simple_timeline.feasible_max_load(1)
+
+
+class TestExtraBoundaries:
+    def test_refinement_splits_subinterval(self, simple_timeline):
+        ts = TaskSet.from_tuples([(0, 4, 1), (2, 6, 1), (2, 4, 1)])
+        tl = Timeline(ts, extra_boundaries=[3.0])
+        np.testing.assert_array_equal(tl.boundaries, [0.0, 2.0, 3.0, 4.0, 6.0])
+        # both halves of the split subinterval keep the same overlap set
+        assert tl[1].task_ids == tl[2].task_ids == (0, 1, 2)
+
+    def test_duplicate_and_existing_boundaries_deduplicated(self):
+        ts = TaskSet.from_tuples([(0, 4, 1)])
+        tl = Timeline(ts, extra_boundaries=[2.0, 2.0, 0.0, 4.0])
+        np.testing.assert_array_equal(tl.boundaries, [0.0, 2.0, 4.0])
+
+    def test_out_of_horizon_extra_rejected(self):
+        ts = TaskSet.from_tuples([(0, 4, 1)])
+        with pytest.raises(ValueError, match="inside the horizon"):
+            Timeline(ts, extra_boundaries=[5.0])
+        with pytest.raises(ValueError, match="inside the horizon"):
+            Timeline(ts, extra_boundaries=[-1.0])
+
+    def test_empty_extra_is_noop(self):
+        ts = TaskSet.from_tuples([(0, 4, 1), (1, 3, 1)])
+        a = Timeline(ts)
+        b = Timeline(ts, extra_boundaries=[])
+        np.testing.assert_array_equal(a.boundaries, b.boundaries)
+
+    def test_build_timeline_passes_extra_through(self):
+        tl = build_timeline([(0, 4, 1), (2, 6, 1)], extra_boundaries=[1.0])
+        assert len(tl) == 4
+
+
+class TestHeavyMask:
+    def test_matches_heavy_list(self, six_tasks):
+        tl = Timeline(six_tasks)
+        for m in (1, 2, 4, 8):
+            mask = tl.heavy_mask(m)
+            assert mask.dtype == bool
+            np.testing.assert_array_equal(
+                np.flatnonzero(mask), [s.index for s in tl.heavy(m)]
+            )
+
+    def test_rejects_bad_m(self, simple_timeline):
+        with pytest.raises(ValueError):
+            simple_timeline.heavy_mask(0)

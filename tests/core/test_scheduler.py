@@ -124,3 +124,54 @@ class TestConvenience:
         res = s.final("der")
         total_exec = sum(seg.duration for seg in res.schedule)
         assert total_exec == pytest.approx(2.0)  # C / f_crit, not 20
+
+
+class TestSlotPacking:
+    """The batched cumsum packing agrees with the per-subinterval loop."""
+
+    @staticmethod
+    def _assert_same_slots(got, want):
+        assert len(got) == len(want)
+        for g_slots, w_slots in zip(got, want):
+            assert len(g_slots) == len(w_slots)
+            for g, w in zip(g_slots, w_slots):
+                assert (g.task_id, g.core) == (w.task_id, w.core)
+                assert g.start == pytest.approx(w.start, abs=1e-9)
+                assert g.end == pytest.approx(w.end, abs=1e-9)
+
+    @pytest.mark.parametrize("seed", range(6))
+    @pytest.mark.parametrize("method", ["even", "der"])
+    def test_slots_match_scalar_reference(self, seed, method):
+        tasks, power = random_instance(seed, n=14)
+        s = SubintervalScheduler(tasks, 3, power)
+        plan = s.plan(method)
+        self._assert_same_slots(s._slots(plan), s._slots_scalar(plan))
+
+    def test_paper_example_slots(self, six_tasks, cube_power):
+        s = SubintervalScheduler(six_tasks, 4, cube_power)
+        for method in ("even", "der"):
+            plan = s.plan(method)
+            self._assert_same_slots(s._slots(plan), s._slots_scalar(plan))
+
+
+class TestFinalFromPlan:
+    def test_rejects_plan_on_refined_timeline(self, six_tasks, cube_power):
+        # same tasks and m, but a decomposition refined with an extra split
+        # point: plan columns would be read against the wrong subintervals
+        from repro.core import Timeline, build_allocation_plan
+
+        refined = Timeline(six_tasks, extra_boundaries=[7.0])
+        plan = build_allocation_plan(refined, 4, "even")
+        s = SubintervalScheduler(six_tasks, 4, cube_power)
+        with pytest.raises(ValueError, match="different subinterval decomposition"):
+            s.final_from_plan(plan)
+
+    def test_accepts_equivalent_foreign_timeline(self, six_tasks, cube_power):
+        # a separately-built but identical decomposition is fine
+        from repro.core import Timeline, build_allocation_plan
+
+        other = Timeline(six_tasks)
+        plan = build_allocation_plan(other, 4, "even")
+        s = SubintervalScheduler(six_tasks, 4, cube_power)
+        res = s.final_from_plan(plan, kind="F1")
+        assert res.energy == pytest.approx(s.final("even").energy)

@@ -1,8 +1,9 @@
 """Unit tests for Algorithm 1 (McNaughton wrap-around packing)."""
 
+import numpy as np
 import pytest
 
-from repro.core import wrap_schedule
+from repro.core import pack_matrix, wrap_schedule
 
 
 def _by_task(slots):
@@ -115,3 +116,170 @@ class TestValidation:
         for s in slots:
             assert s.start >= 1.0 - 1e-12
             assert s.end <= 5.0 + 1e-12
+
+
+class TestPackMatrix:
+    """Batched cumulative-sum packing over a whole allocation matrix."""
+
+    @staticmethod
+    def _reference(boundaries, x, m, counts):
+        """Per-subinterval scalar packing (the pre-vectorization behaviour)."""
+        from repro.core import Slot
+
+        out = []
+        for j in range(len(counts)):
+            start, end = float(boundaries[j]), float(boundaries[j + 1])
+            if counts[j] > m:
+                alloc = {
+                    tid: float(x[tid, j])
+                    for tid in range(x.shape[0])
+                    if x[tid, j] > 1e-9
+                }
+                out.append(wrap_schedule(start, end, alloc, m))
+            else:
+                out.append(
+                    [
+                        Slot(tid, core, start, start + float(x[tid, j]))
+                        for core, tid in enumerate(
+                            t for t in range(x.shape[0]) if x[t, j] > 1e-9
+                        )
+                    ]
+                )
+        return out
+
+    @staticmethod
+    def _assert_equivalent(got, want):
+        assert len(got) == len(want)
+        for g_slots, w_slots in zip(got, want):
+            assert len(g_slots) == len(w_slots)
+            for g, w in zip(g_slots, w_slots):
+                assert g.task_id == w.task_id
+                assert g.core == w.core
+                assert g.start == pytest.approx(w.start, abs=1e-9)
+                assert g.end == pytest.approx(w.end, abs=1e-9)
+
+    def test_matches_scalar_wrap_on_heavy(self):
+        boundaries = np.array([0.0, 4.0])
+        x = np.array([[3.0], [3.0], [3.0], [0.0]])
+        counts = np.array([4])
+        got = pack_matrix(boundaries, x, 3, counts)
+        self._assert_equivalent(got, self._reference(boundaries, x, 3, counts))
+
+    def test_light_columns_one_core_each(self):
+        boundaries = np.array([0.0, 2.0, 5.0])
+        x = np.array([[2.0, 3.0], [2.0, 0.0], [0.0, 3.0]])
+        counts = np.array([2, 2])
+        got = pack_matrix(boundaries, x, 3, counts)
+        assert [(s.task_id, s.core) for s in got[0]] == [(0, 0), (1, 1)]
+        assert [(s.task_id, s.core) for s in got[1]] == [(0, 0), (2, 1)]
+        # full-length allocations snap exactly to the subinterval boundaries
+        assert all(s.start == 0.0 and s.end == 2.0 for s in got[0])
+        assert all(s.start == 2.0 and s.end == 5.0 for s in got[1])
+
+    def test_random_plans_match_scalar_reference(self):
+        rng = np.random.default_rng(7)
+        for _ in range(25):
+            J = int(rng.integers(1, 6))
+            n = int(rng.integers(1, 9))
+            m = int(rng.integers(1, 5))
+            boundaries = np.cumsum(rng.uniform(0.5, 3.0, size=J + 1))
+            delta = boundaries[1:] - boundaries[:-1]
+            counts = np.full(J, n)
+            # feasible matrix: per-entry <= delta, column totals <= m * delta
+            x = rng.uniform(0.0, 1.0, size=(n, J)) * delta[None, :]
+            scale = np.minimum(m * delta / np.maximum(x.sum(axis=0), 1e-12), 1.0)
+            x *= scale[None, :]
+            got = pack_matrix(boundaries, x, m, counts)
+            if n <= m:
+                # light: every active task on its own core for its full time
+                for j, slots in enumerate(got):
+                    for s in slots:
+                        assert s.start == pytest.approx(boundaries[j])
+            else:
+                self._assert_equivalent(
+                    got, self._reference(boundaries, x, m, counts)
+                )
+
+    def test_durations_conserved(self):
+        rng = np.random.default_rng(3)
+        boundaries = np.array([0.0, 2.0, 3.5, 7.0])
+        delta = boundaries[1:] - boundaries[:-1]
+        n, m = 6, 2
+        x = rng.uniform(0, 1, size=(n, 3)) * delta[None, :]
+        x *= np.minimum(m * delta / x.sum(axis=0), 1.0)[None, :]
+        got = pack_matrix(boundaries, x, m, np.full(3, n))
+        for j, slots in enumerate(got):
+            per_task = {}
+            for s in slots:
+                per_task[s.task_id] = per_task.get(s.task_id, 0.0) + s.duration
+            for tid, total in per_task.items():
+                assert total == pytest.approx(x[tid, j], abs=1e-8)
+
+    def test_no_core_conflicts_and_no_task_parallelism(self):
+        rng = np.random.default_rng(11)
+        boundaries = np.cumsum(rng.uniform(0.5, 2.0, size=8))
+        delta = boundaries[1:] - boundaries[:-1]
+        n, m = 9, 3
+        x = rng.uniform(0, 1, size=(n, 7)) * delta[None, :]
+        x *= np.minimum(m * delta / x.sum(axis=0), 1.0)[None, :]
+        for slots in pack_matrix(boundaries, x, m, np.full(7, n)):
+            _assert_no_core_conflicts(slots)
+            _assert_no_task_parallelism(slots)
+            for s in slots:
+                assert 0 <= s.core < m
+
+    def test_rejects_overcommitted_column(self):
+        boundaries = np.array([0.0, 2.0])
+        x = np.array([[2.0], [2.0], [2.0]])
+        with pytest.raises(ValueError, match="capacity"):
+            pack_matrix(boundaries, x, 2, np.array([3]))
+
+    def test_rejects_over_length_entry(self):
+        boundaries = np.array([0.0, 2.0])
+        x = np.array([[3.0], [0.0], [0.0]])
+        with pytest.raises(ValueError, match="exceeds subinterval length"):
+            pack_matrix(boundaries, x, 2, np.array([3]))
+
+    def test_rejects_negative_entry(self):
+        boundaries = np.array([0.0, 2.0])
+        x = np.array([[-1.0]])
+        with pytest.raises(ValueError, match="negative"):
+            pack_matrix(boundaries, x, 1, np.array([1]))
+
+    def test_rejects_shape_mismatch(self):
+        with pytest.raises(ValueError, match="one more entry"):
+            pack_matrix(np.array([0.0, 1.0]), np.zeros((2, 2)), 1, np.array([1, 1]))
+
+
+class TestPackedSlots:
+    """The flat-array hot path and its Slot-list view stay in lockstep."""
+
+    def test_flat_matches_list_view(self):
+        from repro.core import pack_matrix_flat
+
+        rng = np.random.default_rng(5)
+        boundaries = np.cumsum(rng.uniform(0.5, 2.0, size=6))
+        delta = boundaries[1:] - boundaries[:-1]
+        n, m = 7, 2
+        x = rng.uniform(0, 1, size=(n, 5)) * delta[None, :]
+        x *= np.minimum(m * delta / x.sum(axis=0), 1.0)[None, :]
+        ps = pack_matrix_flat(boundaries, x, m, np.full(5, n))
+        lists = pack_matrix(boundaries, x, m, np.full(5, n))
+        k = 0
+        for j, slots in enumerate(lists):
+            for s in slots:
+                assert (s.task_id, s.core) == (ps.task[k], ps.core[k])
+                assert s.start == ps.start[k] and s.end == ps.end[k]
+                assert ps.sub[k] == j
+                k += 1
+        assert k == len(ps)
+        np.testing.assert_allclose(ps.durations, ps.end - ps.start)
+
+    def test_sub_is_grouped_and_nondecreasing(self):
+        from repro.core import pack_matrix_flat
+
+        boundaries = np.array([0.0, 2.0, 5.0])
+        x = np.array([[1.5, 3.0], [2.0, 0.5], [0.5, 2.0]])
+        ps = pack_matrix_flat(boundaries, x, 2, np.array([3, 3]))
+        assert np.all(np.diff(ps.sub) >= 0)
+        assert ps.n_subintervals == 2

@@ -32,3 +32,50 @@ def test_single_seed_short_circuits():
     spec = PointSpec(n_tasks=6)
     out = parallel_replications(spec, [11], workers=8)
     assert len(out) == 1
+
+
+def test_chunk_size_four_chunks_per_worker():
+    from repro.experiments.parallel import chunk_size
+
+    assert chunk_size(100, 4) == 6  # 100 // 16
+    assert chunk_size(64, 4) == 4
+    assert chunk_size(16, 4) == 1
+
+
+def test_chunk_size_small_batches_degrade_to_one():
+    from repro.experiments.parallel import chunk_size
+
+    # len(seeds) < workers * 4: per-item submission keeps all workers busy
+    assert chunk_size(3, 4) == 1
+    assert chunk_size(0, 2) == 1
+    assert chunk_size(7, 2) == 1
+
+
+def test_chunk_size_rejects_bad_workers():
+    from repro.experiments.parallel import chunk_size
+
+    with pytest.raises(ValueError, match="workers"):
+        chunk_size(10, 0)
+
+
+def test_workers_one_never_spawns_a_pool(monkeypatch):
+    from repro.experiments import parallel as par
+
+    def _boom(*a, **k):  # pragma: no cover - failure path
+        raise AssertionError("workers=1 must not create a process pool")
+
+    monkeypatch.setattr(par, "ProcessPoolExecutor", _boom)
+    spec = PointSpec(n_tasks=6, p0=0.1)
+    seeds = _spawn_seeds(5, 3)
+    out = par.parallel_replications(spec, seeds, workers=1)
+    assert len(out) == 3
+
+
+def test_parallel_results_come_back_in_seed_order():
+    spec = PointSpec(n_tasks=8, p0=0.1)
+    seeds = _spawn_seeds(7, 6)
+    serial = [parallel_replications(spec, [s], workers=1)[0] for s in seeds]
+    parallel = parallel_replications(spec, seeds, workers=3)
+    # positionally identical: result i belongs to seed i, not completion order
+    for a, b in zip(serial, parallel):
+        assert a.values == pytest.approx(b.values)

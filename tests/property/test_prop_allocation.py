@@ -56,3 +56,27 @@ def test_available_time_supports_work(tasks, m, power):
     for method, kw in (("even", {}), ("der", {"ideal": ideal})):
         plan = build_allocation_plan(tl, m, method, **kw)
         assert np.all(plan.available_times > 0)
+
+
+@given(tasks_strategy(max_size=14), cores_strategy, power_strategy())
+@settings(max_examples=80, deadline=None)
+def test_vectorized_matches_scalar_reference(tasks, m, power):
+    """The batched assembly agrees with the per-subinterval loop to 1e-9."""
+    tl = Timeline(tasks)
+    ideal = solve_ideal(tasks, power)
+    for method, kw in (("even", {}), ("der", {"ideal": ideal})):
+        vec = build_allocation_plan(tl, m, method, **kw)
+        ref = build_allocation_plan(tl, m, method + "_scalar", **kw)
+        np.testing.assert_allclose(vec.x, ref.x, rtol=1e-9, atol=1e-12)
+
+
+@given(tasks_strategy(), cores_strategy, power_strategy())
+@settings(max_examples=60, deadline=None)
+def test_no_overlapped_subinterval_starved(tasks, m, power):
+    """Every subinterval with overlapping tasks hands out some capacity."""
+    tl = Timeline(tasks)
+    ideal = solve_ideal(tasks, power)
+    for method, kw in (("even", {}), ("der", {"ideal": ideal})):
+        plan = build_allocation_plan(tl, m, method, **kw)
+        totals = plan.x.sum(axis=0)
+        assert np.all(totals[tl.overlap_counts > 0] > 0)
