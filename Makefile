@@ -4,9 +4,9 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: check lint test bench
+.PHONY: check lint test bench serve-smoke
 
-check: lint test
+check: lint test serve-smoke
 
 lint:
 	@if command -v ruff >/dev/null 2>&1; then \
@@ -20,3 +20,8 @@ test:
 
 bench:
 	$(PYTHON) -m pytest benchmarks -q -s
+
+# boot the scheduling daemon on an ephemeral port, hit every endpoint once,
+# shut down gracefully
+serve-smoke:
+	$(PYTHON) -m repro.service.smoke

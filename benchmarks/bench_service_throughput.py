@@ -1,0 +1,147 @@
+"""Serving-layer benchmark: micro-batching and plan-cache throughput.
+
+Boots the real daemon in-process four times — {batching off, on} ×
+{cache cold, warm} — and drives each from a *separate client process*
+(``python -m repro loadgen --json``), so client-side HTTP work never
+shares the server's event loop and the numbers reflect the daemon alone.
+The workload is 1000 mixed requests (95% ``/schedule``, 5% ``/admit``)
+against a 1-worker process pool.  Cold runs use 1000 distinct task sets
+(every request misses the plan cache); warm runs cycle 25, so
+steady-state traffic is cache hits that never enter the pool.
+``/optimal`` is exercised by the e2e suite but kept out of this timed
+comparison: one exact convex solve costs ~40× a heuristic solve, so any
+share of it measures the solver, not the serving layer.
+
+Why batching wins: without it every request is its own executor
+submission — pickle, queue, feeder/result-thread wakeups, a storm of
+context switches interleaved with HTTP handling — and its own solver
+pass, paying the fixed pipeline setup per request.  With a ~4 ms window
+the same traffic reaches the pool as a few worker-sized chunks, and jobs
+sharing a platform are *fused* into one vectorized pipeline pass (see
+``repro.service.pool._solve_fused``), amortizing both costs across the
+batch.
+
+Asserts the acceptance targets — batching ≥ 2× unbatched RPS on the cold
+workload; warm cache beats batched-cold with >90% hits while mostly
+bypassing the pool (dispatch counting) — and archives one CSV row per
+scenario under ``results/bench/service_throughput.csv``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import os
+import sys
+from pathlib import Path
+
+from repro.service import SchedulingService, ServiceConfig
+from repro.service.loadgen import run_loadgen
+
+_REQUESTS = 1000
+_CONCURRENCY = 64
+_N_TASKS = 3
+_WORKERS = 1
+_ADMIT_FRAC = 0.05
+
+_SRC = str(Path(__file__).resolve().parent.parent / "src")
+
+
+async def _client_subprocess(port: int, *, n: int, unique: int, **flags) -> dict:
+    """Run ``repro loadgen --json`` in its own process and parse its stats."""
+    args = [
+        sys.executable, "-m", "repro", "loadgen", "--json",
+        "--port", str(port), "-n", str(n), "-c", str(_CONCURRENCY),
+        "--n-tasks", str(_N_TASKS), "--unique", str(unique), "-m", "2",
+    ]
+    for flag, value in flags.items():
+        args += [f"--{flag.replace('_', '-')}", str(value)]
+    env = dict(os.environ)
+    env["PYTHONPATH"] = _SRC + os.pathsep + env.get("PYTHONPATH", "")
+    proc = await asyncio.create_subprocess_exec(
+        *args, env=env,
+        stdout=asyncio.subprocess.PIPE, stderr=asyncio.subprocess.PIPE,
+    )
+    out, err = await proc.communicate()
+    if proc.returncode != 0:
+        raise RuntimeError(f"loadgen failed: {err.decode()[-500:]}")
+    return json.loads(out.decode())
+
+
+def _scenario(name: str, *, window: float, unique: int) -> dict:
+    config = ServiceConfig(
+        port=0,
+        workers=_WORKERS,
+        batch_window=window,
+        batch_max=_CONCURRENCY,
+        cache_size=1024,
+        max_inflight=4 * _CONCURRENCY,
+        log_interval=0,
+    )
+
+    async def run():
+        service = SchedulingService(config)
+        await service.start()
+        try:
+            # warm-up in-process: spin up pool workers (and for warm runs,
+            # prime the cache with the client's task-set pool, seed 0)
+            await run_loadgen(
+                "127.0.0.1", service.port,
+                n_requests=min(unique, 50), concurrency=8, n_tasks=_N_TASKS,
+                unique=unique, m=2, include_schedule=False, seed=0,
+            )
+            stats = await _client_subprocess(
+                service.port, n=_REQUESTS, unique=unique,
+                admit_frac=_ADMIT_FRAC, seed=0,
+            )
+            stats["cache_hit_rate"] = round(service.cache.hit_rate, 4)
+            stats["pool_dispatches"] = service.dispatcher.dispatch_count
+            stats["batches"] = service.batcher.batches
+            return stats
+        finally:
+            await service.stop()
+
+    stats = asyncio.run(run())
+    stats["scenario"] = name
+    return stats
+
+
+def test_service_throughput(results_dir):
+    rows = [
+        _scenario("unbatched-cold", window=0.0, unique=_REQUESTS),
+        _scenario("batched-cold", window=0.004, unique=_REQUESTS),
+        _scenario("unbatched-warm", window=0.0, unique=25),
+        _scenario("batched-warm", window=0.004, unique=25),
+    ]
+    for r in rows:
+        assert r["ok"] == _REQUESTS, f"{r['scenario']}: {r['statuses']}"
+        assert r["errors"] == 0
+
+    header = (
+        "scenario,requests,concurrency,workers,rps,p50_ms,p95_ms,p99_ms,"
+        "cache_hit_rate,pool_dispatches,batches"
+    )
+    lines = [header]
+    for r in rows:
+        lat = r["latency_ms"]
+        lines.append(
+            f"{r['scenario']},{r['requests']},{r['concurrency']},{_WORKERS},"
+            f"{r['rps']},{lat['p50']},{lat['p95']},{lat['p99']},"
+            f"{r['cache_hit_rate']},{r['pool_dispatches']},{r['batches']}"
+        )
+    csv_text = "\n".join(lines) + "\n"
+    (results_dir / "service_throughput.csv").write_text(csv_text)
+    print("\n" + csv_text)
+
+    by_name = {r["scenario"]: r for r in rows}
+    speedup = by_name["batched-cold"]["rps"] / by_name["unbatched-cold"]["rps"]
+    print(f"batching speedup (cold cache): {speedup:.2f}x")
+    assert speedup >= 2.0, f"micro-batching speedup {speedup:.2f}x < 2x target"
+
+    # warm cache must beat the batched cold run and mostly skip the pool:
+    # the hit path's pool bypass is the dispatch-count drop, not an RPS
+    # multiplier (batched-cold is already within ~2x of the serving floor)
+    warm, cold = by_name["batched-warm"], by_name["batched-cold"]
+    assert warm["rps"] > cold["rps"]
+    assert warm["cache_hit_rate"] > 0.9
+    assert warm["pool_dispatches"] < cold["pool_dispatches"] / 2

@@ -8,6 +8,8 @@ Commands
 ``optimal``    solve the exact convex program for a task file
 ``inspect``    validate and summarize a saved schedule JSON
 ``experiment`` run one of the paper's figure/table experiments
+``serve``      run the asyncio scheduling daemon (:mod:`repro.service`)
+``loadgen``    drive a running daemon with the async load generator
 
 All task files are the JSON/CSV formats of :mod:`repro.io`; schedules are
 the self-contained JSON of :mod:`repro.io.schedio`.
@@ -32,6 +34,11 @@ def build_parser() -> argparse.ArgumentParser:
             "Energy-aware scheduling of aperiodic tasks on DVFS multi-core "
             "processors (Li & Wu, ICPP 2014 reproduction)."
         ),
+    )
+    from . import __version__
+
+    parser.add_argument(
+        "--version", action="version", version=f"%(prog)s {__version__}"
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -96,6 +103,75 @@ def build_parser() -> argparse.ArgumentParser:
     e.add_argument("--seed", type=int, default=0)
     e.add_argument("--workers", type=int, default=1)
     e.add_argument("--csv", type=Path, help="also write the data as CSV here")
+
+    # serve
+    v = sub.add_parser("serve", help="run the asyncio scheduling daemon")
+    v.add_argument("--host", default="127.0.0.1")
+    v.add_argument("--port", type=int, default=8421, help="0 = ephemeral")
+    v.add_argument(
+        "--workers", type=int, default=0,
+        help="solver processes (0 = inline thread executor)",
+    )
+    v.add_argument(
+        "--batch-window-ms", type=float, default=5.0,
+        help="micro-batching window in milliseconds (0 disables batching)",
+    )
+    v.add_argument(
+        "--batch-max", type=int, default=32, help="flush batches at this size"
+    )
+    v.add_argument(
+        "--cache-size", type=int, default=256, help="plan-cache entries (0 = off)"
+    )
+    v.add_argument(
+        "--max-inflight", type=int, default=256,
+        help="shed (429) beyond this many in-progress requests",
+    )
+    v.add_argument(
+        "--timeout", type=float, default=30.0, help="per-request deadline (s)"
+    )
+    v.add_argument("-m", "--cores", type=int, default=4)
+    v.add_argument("--alpha", type=float, default=3.0)
+    v.add_argument("--static", type=float, default=0.0)
+    v.add_argument(
+        "--f-max", type=float, default=None,
+        help="admission-control frequency cap (default: uncapped)",
+    )
+    v.add_argument(
+        "--log-interval", type=float, default=60.0,
+        help="seconds between metric log lines (0 disables)",
+    )
+
+    # loadgen
+    lg = sub.add_parser("loadgen", help="drive a running daemon with load")
+    lg.add_argument("--host", default="127.0.0.1")
+    lg.add_argument("--port", type=int, default=8421)
+    lg.add_argument("-n", "--requests", type=int, default=500)
+    lg.add_argument("-c", "--concurrency", type=int, default=16)
+    lg.add_argument("--n-tasks", type=int, default=8, help="tasks per request")
+    lg.add_argument(
+        "--unique", type=int, default=50,
+        help="distinct task sets cycled through (< requests warms the cache)",
+    )
+    lg.add_argument(
+        "--optimal-frac", type=float, default=0.0,
+        help="fraction of requests sent to /optimal",
+    )
+    lg.add_argument(
+        "--admit-frac", type=float, default=0.0,
+        help="fraction of requests sent to /admit",
+    )
+    lg.add_argument("-m", "--cores", type=int, default=4)
+    lg.add_argument("--alpha", type=float, default=3.0)
+    lg.add_argument("--static", type=float, default=0.1)
+    lg.add_argument(
+        "--method", choices=["der", "even", "online"], default="der"
+    )
+    lg.add_argument(
+        "--include-schedule", action="store_true",
+        help="request full schedule JSON bodies (heavier responses)",
+    )
+    lg.add_argument("--seed", type=int, default=0)
+    lg.add_argument("--json", action="store_true", help="print raw stats JSON")
 
     # report
     r = sub.add_parser(
@@ -240,6 +316,62 @@ def _cmd_experiment(args) -> int:
     return 0
 
 
+def _cmd_serve(args) -> int:
+    import asyncio
+    import logging
+
+    from .service import ServiceConfig, run_service
+
+    logging.basicConfig(
+        level=logging.INFO, format="%(asctime)s %(name)s %(message)s"
+    )
+    config = ServiceConfig(
+        host=args.host,
+        port=args.port,
+        workers=args.workers,
+        batch_window=args.batch_window_ms / 1e3,
+        batch_max=args.batch_max,
+        cache_size=args.cache_size,
+        max_inflight=args.max_inflight,
+        request_timeout=args.timeout,
+        m=args.cores,
+        alpha=args.alpha,
+        static=args.static,
+        f_max=args.f_max,
+        log_interval=args.log_interval,
+    )
+    asyncio.run(run_service(config))
+    return 0
+
+
+def _cmd_loadgen(args) -> int:
+    import asyncio
+    import json as _json
+
+    from .service.loadgen import format_stats, run_loadgen
+
+    stats = asyncio.run(
+        run_loadgen(
+            args.host,
+            args.port,
+            n_requests=args.requests,
+            concurrency=args.concurrency,
+            n_tasks=args.n_tasks,
+            unique=args.unique,
+            optimal_frac=args.optimal_frac,
+            admit_frac=args.admit_frac,
+            m=args.cores,
+            alpha=args.alpha,
+            static=args.static,
+            method=args.method,
+            include_schedule=args.include_schedule,
+            seed=args.seed,
+        )
+    )
+    print(_json.dumps(stats) if args.json else format_stats(stats))
+    return 0 if stats["errors"] == 0 and stats["ok"] > 0 else 1
+
+
 def _cmd_report(args) -> int:
     from .analysis.report import generate_report
 
@@ -261,6 +393,8 @@ _COMMANDS = {
     "optimal": _cmd_optimal,
     "inspect": _cmd_inspect,
     "experiment": _cmd_experiment,
+    "serve": _cmd_serve,
+    "loadgen": _cmd_loadgen,
     "report": _cmd_report,
 }
 

@@ -86,12 +86,18 @@ def taskset_from_json(text: str) -> TaskSet:
 
 
 def taskset_to_csv(tasks: TaskSet) -> str:
-    """Serialize a task set to CSV text."""
+    """Serialize a task set to CSV text.
+
+    Floats are written with :func:`repr` — the shortest representation
+    that parses back to the identical float — so CSV round-trips are
+    bit-exact like JSON's (the old ``%.12g`` formatting silently dropped
+    the last bits of non-terminating values such as ``0.1 + 0.2``).
+    """
     buf = io.StringIO()
     writer = csv.writer(buf)
     writer.writerow(["release", "deadline", "work", "name"])
     for t in tasks:
-        writer.writerow([f"{t.release:.12g}", f"{t.deadline:.12g}", f"{t.work:.12g}", t.name])
+        writer.writerow([repr(t.release), repr(t.deadline), repr(t.work), t.name])
     return buf.getvalue()
 
 

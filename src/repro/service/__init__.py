@@ -1,0 +1,58 @@
+"""repro.service — an asyncio scheduling daemon over the batch pipeline.
+
+The batch CLI solves one task file and exits; this package is the
+long-running serving layer the ROADMAP's production story needs.  It is
+stdlib-only (asyncio + the repro pipeline) and exposes an HTTP/JSON API:
+
+``POST /schedule``   plan a task set (S^F1/S^F2/online) — micro-batched
+``POST /admit``      f_max admission control (stateful, §VI-C/D extension)
+``POST /optimal``    exact convex optimum
+``GET  /metrics``    counters, gauges, latency percentiles, cache stats
+``GET  /healthz``    liveness + uptime
+
+Architecture
+------------
+
+* :mod:`~repro.service.batcher` coalesces concurrent ``/schedule``
+  requests inside a small time/size window and dispatches each batch as
+  one chunked submission to a ``ProcessPoolExecutor``, so the event loop
+  never blocks on a solve and per-request IPC overhead is amortized.
+* :mod:`~repro.service.cache` is an LRU keyed by a canonical hash of
+  (task set, m, power, method); permuted task orders hit the same entry,
+  and a warm hit never enters the process pool.
+* :mod:`~repro.service.metrics` is the observability registry rendered
+  at ``/metrics`` and in a periodic log line.
+* :mod:`~repro.service.loadgen` is the async benchmarking client.
+"""
+
+from .batcher import MicroBatcher
+from .cache import PlanCache
+from .config import ServiceConfig
+from .metrics import Counter, Gauge, Histogram, MetricsRegistry
+from .protocol import (
+    AdmitRequest,
+    OptimalRequest,
+    ProtocolError,
+    ScheduleRequest,
+    canonical_plan_key,
+    canonicalize_tasks,
+)
+from .server import SchedulingService, run_service
+
+__all__ = [
+    "AdmitRequest",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "MicroBatcher",
+    "OptimalRequest",
+    "PlanCache",
+    "ProtocolError",
+    "ScheduleRequest",
+    "SchedulingService",
+    "ServiceConfig",
+    "canonical_plan_key",
+    "canonicalize_tasks",
+    "run_service",
+]

@@ -1,0 +1,76 @@
+"""Service configuration: one frozen dataclass shared by server, CLI, tests."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+
+@dataclass(frozen=True)
+class ServiceConfig:
+    """Tunables of the scheduling daemon.
+
+    Parameters
+    ----------
+    host, port:
+        Bind address.  ``port=0`` picks an ephemeral port (tests/smoke).
+    workers:
+        Solver worker processes.  ``0`` solves inline in a thread executor
+        (no process pool) — the fast mode for tests and smoke checks; the
+        batching/caching/shedding behavior is identical.
+    batch_window:
+        Micro-batching window in seconds.  Requests arriving within the
+        window are dispatched as one batch.  ``0`` disables batching
+        (every request dispatches immediately).
+    batch_max:
+        Flush a batch as soon as it reaches this many requests, without
+        waiting out the window.
+    cache_size:
+        LRU plan-cache capacity (entries).  ``0`` disables caching.
+    max_inflight:
+        Bound on concurrently-accepted requests.  Beyond it the server
+        sheds with 429 instead of queueing unboundedly.
+    request_timeout:
+        Per-request deadline in seconds; exceeded requests get 504.
+    m, alpha, static, f_max:
+        Platform defaults: core count and power model ``p(f)=f^α+p₀``
+        used when a request omits them, and the admission controller's
+        configuration (``f_max=None`` disables the cap).
+    log_interval:
+        Seconds between periodic one-line metric logs (``0`` disables).
+    """
+
+    host: str = "127.0.0.1"
+    port: int = 8421
+    workers: int = 0
+    batch_window: float = 0.005
+    batch_max: int = 32
+    cache_size: int = 256
+    max_inflight: int = 256
+    request_timeout: float = 30.0
+    m: int = 4
+    alpha: float = 3.0
+    static: float = 0.0
+    f_max: float | None = None
+    log_interval: float = field(default=60.0)
+
+    def __post_init__(self) -> None:
+        if self.workers < 0:
+            raise ValueError("workers must be >= 0")
+        if self.batch_window < 0:
+            raise ValueError("batch_window must be >= 0")
+        if self.batch_max < 1:
+            raise ValueError("batch_max must be >= 1")
+        if self.cache_size < 0:
+            raise ValueError("cache_size must be >= 0")
+        if self.max_inflight < 1:
+            raise ValueError("max_inflight must be >= 1")
+        if self.request_timeout <= 0:
+            raise ValueError("request_timeout must be positive")
+        if self.m < 1:
+            raise ValueError("m must be >= 1")
+        if self.f_max is not None and self.f_max <= 0:
+            raise ValueError("f_max must be positive")
+
+    def with_(self, **kwargs) -> "ServiceConfig":
+        """A modified copy (convenience for tests)."""
+        return replace(self, **kwargs)

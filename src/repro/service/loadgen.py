@@ -1,0 +1,258 @@
+"""Async load generator for benchmarking the scheduling daemon.
+
+A stdlib HTTP/1.1 client (keep-alive over asyncio streams) plus a
+closed-loop load driver: ``concurrency`` workers each hold one persistent
+connection and pull request indices from a shared counter until
+``n_requests`` have been issued.  The workload is a pool of ``unique``
+paper-style task sets cycled round-robin — ``unique < n_requests``
+exercises the plan cache, ``unique == n_requests`` keeps it cold — with
+an optional fraction of ``/optimal`` and ``/admit`` traffic mixed in.
+
+Per-request wall latencies feed the same percentile math the server's
+histograms use, so client- and server-side numbers are comparable.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import time
+
+from .metrics import percentile
+
+__all__ = ["HttpClient", "request_once", "run_loadgen", "format_stats"]
+
+
+class HttpClient:
+    """One persistent HTTP/1.1 connection speaking JSON."""
+
+    def __init__(self, host: str, port: int):
+        self.host = host
+        self.port = port
+        self._reader: asyncio.StreamReader | None = None
+        self._writer: asyncio.StreamWriter | None = None
+
+    async def connect(self) -> None:
+        self._reader, self._writer = await asyncio.open_connection(
+            self.host, self.port
+        )
+
+    async def close(self) -> None:
+        if self._writer is not None:
+            self._writer.close()
+            try:
+                await self._writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+            self._reader = self._writer = None
+
+    def encode_request(
+        self, method: str, path: str, payload: dict | None = None
+    ) -> bytes:
+        """Serialize one request to wire bytes (reusable across sends)."""
+        body = json.dumps(payload).encode() if payload is not None else b""
+        head = (
+            f"{method} {path} HTTP/1.1\r\n"
+            f"Host: {self.host}:{self.port}\r\n"
+            f"Content-Type: application/json\r\n"
+            f"Content-Length: {len(body)}\r\n"
+            "\r\n"
+        ).encode("latin-1")
+        return head + body
+
+    async def request(
+        self, method: str, path: str, payload: dict | None = None
+    ) -> tuple[int, dict]:
+        """Issue one request; reconnects transparently if the peer closed."""
+        return await self.request_encoded(self.encode_request(method, path, payload))
+
+    async def request_encoded(
+        self, data: bytes, decode: bool = True
+    ) -> tuple[int, dict]:
+        """Send pre-encoded request bytes (the loadgen hot path).
+
+        ``decode=False`` still reads the full body off the socket but skips
+        ``json.loads`` — for drivers that only care about the status code.
+        """
+        if self._writer is None:
+            await self.connect()
+        try:
+            self._writer.write(data)
+            await self._writer.drain()
+            return await self._read_response(decode)
+        except (ConnectionError, asyncio.IncompleteReadError):
+            # server closed the keep-alive connection: retry once, fresh
+            await self.close()
+            await self.connect()
+            self._writer.write(data)
+            await self._writer.drain()
+            return await self._read_response(decode)
+
+    async def _read_response(self, decode: bool = True) -> tuple[int, dict]:
+        try:
+            head = await self._reader.readuntil(b"\r\n\r\n")
+        except asyncio.IncompleteReadError as exc:
+            raise ConnectionError("server closed connection") from exc
+        lines = head.decode("latin-1").split("\r\n")
+        status = int(lines[0].split()[1])
+        headers: dict[str, str] = {}
+        for raw in lines[1:]:
+            if ":" in raw:
+                name, _, value = raw.partition(":")
+                headers[name.strip().lower()] = value.strip()
+        length = int(headers.get("content-length", "0") or "0")
+        data = await self._reader.readexactly(length) if length else b""
+        payload = json.loads(data.decode()) if (data and decode) else {}
+        if headers.get("connection", "").lower() == "close":
+            await self.close()
+        return status, payload
+
+
+async def request_once(
+    host: str, port: int, method: str, path: str, payload: dict | None = None
+) -> tuple[int, dict]:
+    """One-shot request on a throwaway connection (smoke tests)."""
+    client = HttpClient(host, port)
+    await client.connect()
+    try:
+        return await client.request(method, path, payload)
+    finally:
+        await client.close()
+
+
+def _make_tasksets(unique: int, n_tasks: int, seed: int) -> list[list[list[float]]]:
+    """Pre-generate the request pool as plain JSON rows (no client numpy)."""
+    import numpy as np
+
+    from ..workloads.generator import PaperWorkloadConfig, paper_workload
+
+    rng = np.random.default_rng(seed)
+    pool = []
+    for _ in range(unique):
+        tasks = paper_workload(rng, PaperWorkloadConfig(n_tasks=n_tasks))
+        pool.append([[t.release, t.deadline, t.work] for t in tasks])
+    return pool
+
+
+async def run_loadgen(
+    host: str,
+    port: int,
+    *,
+    n_requests: int = 500,
+    concurrency: int = 16,
+    n_tasks: int = 8,
+    unique: int = 50,
+    optimal_frac: float = 0.0,
+    admit_frac: float = 0.0,
+    m: int = 4,
+    alpha: float = 3.0,
+    static: float = 0.1,
+    method: str = "der",
+    include_schedule: bool = False,
+    seed: int = 0,
+) -> dict:
+    """Drive the daemon and return a stats dict (RPS, percentiles, statuses)."""
+    if n_requests < 1 or concurrency < 1 or unique < 1:
+        raise ValueError("n_requests, concurrency, unique must be >= 1")
+    pool = _make_tasksets(unique, n_tasks, seed)
+    n_optimal = int(n_requests * optimal_frac)
+    n_admit = int(n_requests * admit_frac)
+
+    # pre-encode one request per (endpoint, pool entry): request construction
+    # is not what this tool measures, and on a small host every cycle the
+    # client burns is stolen from the server under test
+    codec = HttpClient(host, port)
+    schedule_enc = [
+        codec.encode_request(
+            "POST", "/schedule",
+            {
+                "tasks": tasks, "m": m, "alpha": alpha, "static": static,
+                "method": method, "include_schedule": include_schedule,
+            },
+        )
+        for tasks in pool
+    ]
+    optimal_enc = [
+        codec.encode_request(
+            "POST", "/optimal",
+            {"tasks": tasks, "m": m, "alpha": alpha, "static": static},
+        )
+        for tasks in (pool if n_optimal else [])
+    ]
+
+    latencies: list[float] = []
+    statuses: dict[int, int] = {}
+    errors = 0
+    next_index = 0
+
+    def _claim() -> int | None:
+        nonlocal next_index
+        if next_index >= n_requests:
+            return None
+        next_index += 1
+        return next_index - 1
+
+    async def worker() -> None:
+        nonlocal errors
+        client = HttpClient(host, port)
+        await client.connect()
+        try:
+            while (i := _claim()) is not None:
+                if i < n_optimal:
+                    data = optimal_enc[i % unique]
+                elif i < n_optimal + n_admit:
+                    tasks = pool[i % unique]
+                    data = codec.encode_request(
+                        "POST", "/admit", {"task": tasks[i % len(tasks)]}
+                    )
+                else:
+                    data = schedule_enc[i % unique]
+                t0 = time.perf_counter()
+                try:
+                    status, _ = await client.request_encoded(data, decode=False)
+                except (ConnectionError, asyncio.IncompleteReadError, OSError):
+                    errors += 1
+                    await client.close()
+                    continue
+                latencies.append((time.perf_counter() - t0) * 1e3)
+                statuses[status] = statuses.get(status, 0) + 1
+        finally:
+            await client.close()
+
+    t_start = time.perf_counter()
+    await asyncio.gather(*(worker() for _ in range(min(concurrency, n_requests))))
+    elapsed = time.perf_counter() - t_start
+
+    ok = statuses.get(200, 0)
+    return {
+        "requests": n_requests,
+        "concurrency": concurrency,
+        "elapsed_s": round(elapsed, 6),
+        "rps": round(n_requests / elapsed, 3) if elapsed > 0 else float("inf"),
+        "ok": ok,
+        "shed": statuses.get(429, 0),
+        "errors": errors,
+        "statuses": {str(k): v for k, v in sorted(statuses.items())},
+        "latency_ms": {
+            "mean": round(sum(latencies) / len(latencies), 4) if latencies else None,
+            "p50": round(percentile(latencies, 50), 4) if latencies else None,
+            "p95": round(percentile(latencies, 95), 4) if latencies else None,
+            "p99": round(percentile(latencies, 99), 4) if latencies else None,
+        },
+    }
+
+
+def format_stats(stats: dict) -> str:
+    """Human-readable loadgen report."""
+    lat = stats["latency_ms"]
+    lines = [
+        f"requests: {stats['requests']}  concurrency: {stats['concurrency']}",
+        f"elapsed:  {stats['elapsed_s']:.3f} s  ({stats['rps']:.1f} req/s)",
+        f"statuses: {stats['statuses']}  shed: {stats['shed']}  errors: {stats['errors']}",
+    ]
+    if lat["p50"] is not None:
+        lines.append(
+            f"latency:  mean {lat['mean']:.2f} ms  p50 {lat['p50']:.2f}  "
+            f"p95 {lat['p95']:.2f}  p99 {lat['p99']:.2f}"
+        )
+    return "\n".join(lines)

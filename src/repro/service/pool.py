@@ -1,0 +1,286 @@
+"""Solver backend: picklable batch workers + the executor dispatcher.
+
+Everything submitted crosses process boundaries, so workers are
+module-level functions of plain-JSON-shaped arguments (the same rule as
+:mod:`repro.experiments.parallel`, whose :func:`~repro.experiments.
+parallel.chunk_size` policy is reused to split large batches across
+workers).
+
+``workers = 0`` runs the same worker functions in the default thread
+executor — identical semantics, no process pool — which is what tests,
+the smoke target, and small deployments use.  Either way the event loop
+never blocks on a solve.
+
+Inside a worker, jobs that share a platform signature (m, power model,
+heuristic) are *fused*: shifted onto disjoint time windows, concatenated
+into one super-instance, and solved by a single vectorized pipeline pass
+(see :func:`_solve_fused`).  The fixed per-solve Python/numpy overhead is
+paid once per batch instead of once per request, which is where
+micro-batching earns its throughput on small instances.
+
+``dispatch_count`` counts executor submissions.  Cache hits bypass this
+module entirely, and the tests pin that down by asserting the counter
+stays flat across warm requests.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from bisect import bisect_right
+from concurrent.futures import ProcessPoolExecutor
+from typing import Sequence
+
+from ..experiments.parallel import chunk_size
+
+__all__ = ["SolveDispatcher", "solve_schedule_batch", "solve_optimal_job"]
+
+
+# -- picklable workers (run in pool processes) --------------------------------------
+
+
+def _build_instance(job: dict):
+    from ..core.task import Task, TaskSet
+    from ..power.models import PolynomialPower
+
+    tasks = TaskSet(
+        Task(release=r, deadline=d, work=c, name=name)
+        for (r, d, c, name) in job["tasks"]
+    )
+    power = PolynomialPower(
+        alpha=job["alpha"], static=job["static"], gamma=job.get("gamma", 1.0)
+    )
+    return tasks, int(job["m"]), power
+
+
+def _solve_one_schedule(job: dict) -> dict:
+    from ..core.online import OnlineSubintervalScheduler
+    from ..core.scheduler import SubintervalScheduler
+    from ..io.schedio import schedule_to_json
+
+    tasks, m, power = _build_instance(job)
+    if job["method"] == "online":
+        res = OnlineSubintervalScheduler(tasks, m, power).run()
+        schedule, energy, kind = res.schedule, res.energy, "online"
+        extra = {"replans": res.replans}
+    else:
+        result = SubintervalScheduler(tasks, m, power).final(job["method"])
+        schedule, energy, kind = result.schedule, result.energy, f"S^{result.kind}"
+        extra = {}
+    out = {
+        "kind": kind,
+        "energy": energy,
+        "n_tasks": len(tasks),
+        "m": m,
+        "method": job["method"],
+        **extra,
+    }
+    if job.get("include_schedule", True):
+        out["schedule"] = json.loads(schedule_to_json(schedule, indent=None))
+    return out
+
+
+def _fuse_key(job: dict) -> tuple | None:
+    """Signature under which independent jobs can share one solver pass.
+
+    Instances fuse only when they agree on the platform (m, power model)
+    and heuristic; ``online`` jobs replay an event simulation and always
+    solve alone.
+    """
+    if job["method"] == "online":
+        return None
+    return (
+        int(job["m"]),
+        float(job["alpha"]),
+        float(job["static"]),
+        float(job.get("gamma", 1.0)),
+        job["method"],
+    )
+
+
+def _solve_fused(jobs: Sequence[dict]) -> list[dict]:
+    """Solve same-platform instances as ONE vectorized pipeline pass.
+
+    Independent instances are shifted onto pairwise-disjoint time windows
+    and concatenated into a single super-instance.  Because no task window
+    ever crosses an instance boundary, every stage of the subinterval
+    pipeline — timeline, ideal solution, DER allocation, water-filling,
+    packing, frequency refinement — decomposes per column exactly as it
+    would for each instance alone, while numpy sweeps the whole batch in
+    one pass.  The solution is then split back per instance by task-id
+    range and unshifted (float error ~1 ulp of the offset, far inside the
+    validator's 1e-9 tolerance).
+    """
+    from ..core.schedule import Schedule, Segment
+    from ..core.scheduler import SubintervalScheduler
+    from ..core.task import Task, TaskSet
+    from ..io.schedio import schedule_to_json
+    from ..power.models import PolynomialPower
+
+    m = int(jobs[0]["m"])
+    method = jobs[0]["method"]
+    power = PolynomialPower(
+        alpha=jobs[0]["alpha"],
+        static=jobs[0]["static"],
+        gamma=jobs[0].get("gamma", 1.0),
+    )
+
+    instances = [
+        TaskSet(
+            Task(release=r, deadline=d, work=c, name=name)
+            for (r, d, c, name) in job["tasks"]
+        )
+        for job in jobs
+    ]
+
+    fused_tasks: list[Task] = []
+    offsets: list[float] = []
+    first_id: list[int] = [0]
+    base = 0.0
+    for ts in instances:
+        r0, d1 = ts.horizon
+        off = base - r0
+        offsets.append(off)
+        fused_tasks.extend(ts.shifted(off))
+        first_id.append(first_id[-1] + len(ts))
+        base += (d1 - r0) + 1.0
+
+    result = SubintervalScheduler(TaskSet(fused_tasks), m, power).final(method)
+
+    # split segments back per instance (task ids are contiguous per instance)
+    per_instance: list[list[Segment]] = [[] for _ in jobs]
+    for s in result.schedule:
+        j = bisect_right(first_id, s.task_id) - 1
+        off = offsets[j]
+        per_instance[j].append(
+            Segment(
+                task_id=s.task_id - first_id[j],
+                core=s.core,
+                start=s.start - off,
+                end=s.end - off,
+                frequency=s.frequency,
+            )
+        )
+
+    out = []
+    for job, ts, segs in zip(jobs, instances, per_instance):
+        schedule = Schedule(ts, m, power, segs)
+        res = {
+            "kind": f"S^{result.kind}",
+            "energy": schedule.total_energy(),
+            "n_tasks": len(ts),
+            "m": m,
+            "method": method,
+        }
+        if job.get("include_schedule", True):
+            res["schedule"] = json.loads(schedule_to_json(schedule, indent=None))
+        out.append(res)
+    return out
+
+
+def solve_schedule_batch(jobs: Sequence[dict]) -> list[dict]:
+    """Solve a batch of schedule jobs; per-job failures become error dicts.
+
+    Jobs sharing a platform signature (:func:`_fuse_key`) are fused into
+    one vectorized solver pass; anything unfusable — ``online`` jobs,
+    malformed payloads, or a fused group that fails as a whole — falls
+    back to per-job solving so one bad instance never poisons a batch.
+    """
+    out: list[dict | None] = [None] * len(jobs)
+    groups: dict[tuple, list[int]] = {}
+    for i, job in enumerate(jobs):
+        try:
+            key = _fuse_key(job)
+        except Exception:  # noqa: BLE001 - malformed job: surface per-job error
+            key = None
+        if key is not None:
+            groups.setdefault(key, []).append(i)
+        else:
+            out[i] = _solve_solo(jobs[i])
+    for idxs in groups.values():
+        if len(idxs) > 1:
+            try:
+                for i, res in zip(idxs, _solve_fused([jobs[i] for i in idxs])):
+                    out[i] = res
+                continue
+            except Exception:  # noqa: BLE001 - fall back to per-job isolation
+                pass
+        for i in idxs:
+            out[i] = _solve_solo(jobs[i])
+    return out  # type: ignore[return-value]
+
+
+def _solve_solo(job: dict) -> dict:
+    try:
+        return _solve_one_schedule(job)
+    except Exception as exc:  # noqa: BLE001 - isolated per job
+        return {"error": f"{type(exc).__name__}: {exc}"}
+
+
+def solve_optimal_job(job: dict) -> dict:
+    """Solve one exact convex program (``POST /optimal`` payload)."""
+    import numpy as np
+
+    from ..optimal import solve_optimal
+
+    tasks, m, power = _build_instance(job)
+    try:
+        sol = solve_optimal(tasks, m, power, solver=job["solver"])
+    except Exception as exc:  # noqa: BLE001 - isolated per job
+        return {"error": f"{type(exc).__name__}: {exc}"}
+    return {
+        "solver": sol.solver,
+        "iterations": sol.iterations,
+        "energy": float(sol.energy),
+        "available_times": np.asarray(sol.available_times).tolist(),
+        "frequencies": np.asarray(sol.frequencies).tolist(),
+        "n_tasks": len(tasks),
+        "m": m,
+    }
+
+
+# -- async dispatcher (runs on the event loop) --------------------------------------
+
+
+class SolveDispatcher:
+    """Owns the executor and turns job batches into awaitable results."""
+
+    def __init__(self, workers: int):
+        if workers < 0:
+            raise ValueError("workers must be >= 0")
+        self.workers = workers
+        self._pool: ProcessPoolExecutor | None = (
+            ProcessPoolExecutor(max_workers=workers) if workers > 0 else None
+        )
+        self.dispatch_count = 0  # executor submissions (chunks), NOT jobs
+        self.batch_count = 0
+
+    async def solve_batch(self, jobs: Sequence[dict]) -> list[dict]:
+        """One micro-batch → chunked executor submissions → ordered results."""
+        loop = asyncio.get_running_loop()
+        self.batch_count += 1
+        jobs = list(jobs)
+        if self._pool is None:
+            self.dispatch_count += 1
+            return await loop.run_in_executor(None, solve_schedule_batch, jobs)
+        chunk = chunk_size(len(jobs), self.workers, chunks_per_worker=1)
+        chunks = [jobs[i : i + chunk] for i in range(0, len(jobs), chunk)]
+        self.dispatch_count += len(chunks)
+        parts = await asyncio.gather(
+            *(
+                loop.run_in_executor(self._pool, solve_schedule_batch, c)
+                for c in chunks
+            )
+        )
+        return [result for part in parts for result in part]
+
+    async def solve_optimal(self, job: dict) -> dict:
+        loop = asyncio.get_running_loop()
+        self.dispatch_count += 1
+        executor = self._pool  # None → default thread executor
+        return await loop.run_in_executor(executor, solve_optimal_job, job)
+
+    def shutdown(self) -> None:
+        if self._pool is not None:
+            self._pool.shutdown(wait=True, cancel_futures=False)
+            self._pool = None

@@ -1,0 +1,250 @@
+"""Wire protocol: request parsing, validation, and canonical cache keys.
+
+Request bodies are JSON.  Task sets can arrive in any of three shapes —
+a ``repro-taskset`` envelope (the :mod:`repro.io.taskio` file format), a
+list of ``[release, deadline, work]`` / ``[release, deadline, work, name]``
+rows, or a list of ``{"release": …, "deadline": …, "work": …}`` objects —
+all validated through the :class:`~repro.core.task.Task` constructor so
+malformed instances fail with the same errors as programmatic use.
+
+:func:`canonical_plan_key` is the cache identity: a SHA-256 over the
+*sorted* task tuples plus the platform parameters, so permutations of the
+same task set (and any JSON field ordering) map to one cache entry.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass
+
+from ..core.task import Task, TaskSet
+from ..io.taskio import taskset_from_json
+from ..power.models import PolynomialPower
+
+__all__ = [
+    "ProtocolError",
+    "ScheduleRequest",
+    "AdmitRequest",
+    "OptimalRequest",
+    "parse_tasks_field",
+    "canonical_order",
+    "canonicalize_tasks",
+    "canonical_plan_key",
+]
+
+SCHEDULE_METHODS = ("der", "even", "online")
+OPTIMAL_SOLVERS = ("interior-point", "projected-gradient", "SLSQP")
+
+
+class ProtocolError(ValueError):
+    """A malformed request body; maps to HTTP 400."""
+
+
+def _parse_task_row(row, index: int) -> Task:
+    try:
+        if isinstance(row, dict):
+            return Task(
+                release=float(row["release"]),
+                deadline=float(row["deadline"]),
+                work=float(row["work"]),
+                name=str(row.get("name", "")),
+            )
+        if isinstance(row, (list, tuple)) and len(row) in (3, 4):
+            name = str(row[3]) if len(row) == 4 else ""
+            return Task(
+                release=float(row[0]),
+                deadline=float(row[1]),
+                work=float(row[2]),
+                name=name,
+            )
+    except (KeyError, TypeError, ValueError) as exc:
+        raise ProtocolError(f"task #{index} is malformed: {exc}") from exc
+    raise ProtocolError(
+        f"task #{index} must be a [release, deadline, work(, name)] row "
+        f"or an object with those fields"
+    )
+
+
+def parse_tasks_field(obj) -> TaskSet:
+    """Parse the ``tasks`` field of a request into a validated TaskSet."""
+    if isinstance(obj, dict):
+        # the on-disk envelope format, embedded verbatim
+        try:
+            return taskset_from_json(json.dumps(obj))
+        except ValueError as exc:
+            raise ProtocolError(str(exc)) from exc
+    if isinstance(obj, list):
+        if not obj:
+            raise ProtocolError("tasks list is empty")
+        return TaskSet(_parse_task_row(row, i) for i, row in enumerate(obj))
+    raise ProtocolError("tasks must be a list or a repro-taskset object")
+
+
+def _get_number(body: dict, key: str, default, *, integer: bool = False):
+    value = body.get(key, default)
+    if value is None:
+        return None
+    try:
+        return int(value) if integer else float(value)
+    except (TypeError, ValueError) as exc:
+        raise ProtocolError(f"{key} must be a number, got {value!r}") from exc
+
+
+def _power_from(body: dict, default_alpha: float, default_static: float) -> PolynomialPower:
+    alpha = _get_number(body, "alpha", default_alpha)
+    static = _get_number(body, "static", default_static)
+    gamma = _get_number(body, "gamma", 1.0)
+    try:
+        return PolynomialPower(alpha=alpha, static=static, gamma=gamma)
+    except ValueError as exc:
+        raise ProtocolError(str(exc)) from exc
+
+
+@dataclass(frozen=True)
+class ScheduleRequest:
+    """Parsed ``POST /schedule`` body."""
+
+    tasks: TaskSet
+    m: int
+    power: PolynomialPower
+    method: str
+    include_schedule: bool
+
+    @classmethod
+    def from_body(
+        cls,
+        body,
+        *,
+        default_m: int = 4,
+        default_alpha: float = 3.0,
+        default_static: float = 0.0,
+    ) -> "ScheduleRequest":
+        if not isinstance(body, dict):
+            raise ProtocolError("request body must be a JSON object")
+        if "tasks" not in body:
+            raise ProtocolError("missing required field 'tasks'")
+        tasks = parse_tasks_field(body["tasks"])
+        m = _get_number(body, "m", default_m, integer=True)
+        if m < 1:
+            raise ProtocolError(f"m must be >= 1, got {m}")
+        method = body.get("method", "der")
+        if method not in SCHEDULE_METHODS:
+            raise ProtocolError(
+                f"method must be one of {SCHEDULE_METHODS}, got {method!r}"
+            )
+        include = body.get("include_schedule", True)
+        if not isinstance(include, bool):
+            raise ProtocolError("include_schedule must be a boolean")
+        return cls(
+            tasks=tasks,
+            m=m,
+            power=_power_from(body, default_alpha, default_static),
+            method=method,
+            include_schedule=include,
+        )
+
+
+@dataclass(frozen=True)
+class AdmitRequest:
+    """Parsed ``POST /admit`` body: one task for the admission controller."""
+
+    task: Task | None
+    reset: bool
+
+    @classmethod
+    def from_body(cls, body) -> "AdmitRequest":
+        if not isinstance(body, dict):
+            raise ProtocolError("request body must be a JSON object")
+        reset = body.get("reset", False)
+        if not isinstance(reset, bool):
+            raise ProtocolError("reset must be a boolean")
+        task = None
+        if "task" in body:
+            task = _parse_task_row(body["task"], 0)
+        elif not reset:
+            raise ProtocolError("missing required field 'task'")
+        return cls(task=task, reset=reset)
+
+
+@dataclass(frozen=True)
+class OptimalRequest:
+    """Parsed ``POST /optimal`` body."""
+
+    tasks: TaskSet
+    m: int
+    power: PolynomialPower
+    solver: str
+
+    @classmethod
+    def from_body(
+        cls,
+        body,
+        *,
+        default_m: int = 4,
+        default_alpha: float = 3.0,
+        default_static: float = 0.0,
+    ) -> "OptimalRequest":
+        if not isinstance(body, dict):
+            raise ProtocolError("request body must be a JSON object")
+        if "tasks" not in body:
+            raise ProtocolError("missing required field 'tasks'")
+        tasks = parse_tasks_field(body["tasks"])
+        m = _get_number(body, "m", default_m, integer=True)
+        if m < 1:
+            raise ProtocolError(f"m must be >= 1, got {m}")
+        solver = body.get("solver", "interior-point")
+        if solver not in OPTIMAL_SOLVERS:
+            raise ProtocolError(
+                f"solver must be one of {OPTIMAL_SOLVERS}, got {solver!r}"
+            )
+        return cls(
+            tasks=tasks,
+            m=m,
+            power=_power_from(body, default_alpha, default_static),
+            solver=solver,
+        )
+
+
+def canonical_order(task: Task):
+    """Sort key of the canonical task ordering."""
+    return (task.release, task.deadline, task.work, task.name)
+
+
+def canonicalize_tasks(tasks: TaskSet) -> TaskSet:
+    """The task set in canonical (sorted) order.
+
+    Plans are order-invariant — the scheduler works on the set, not the
+    sequence — so the service solves the canonical ordering and every
+    permutation of a request shares one plan (and one cache entry).
+    (The serving hot path sorts the ``Task`` sequence directly with
+    :func:`canonical_order` instead, skipping this second ``TaskSet``
+    construction.)
+    """
+    return TaskSet(sorted(tasks, key=canonical_order))
+
+
+def canonical_plan_key(
+    tasks, m: int, power: PolynomialPower, method: str
+) -> str:
+    """SHA-256 cache key, invariant to task order and JSON field order.
+
+    Floats go through :func:`repr`, which is the shortest exact
+    representation in Python 3 — two bit-identical instances always get
+    the same key, and nearby-but-different floats never collide.
+    """
+    rows = sorted(
+        (repr(t.release), repr(t.deadline), repr(t.work), t.name) for t in tasks
+    )
+    payload = json.dumps(
+        {
+            "tasks": rows,
+            "m": int(m),
+            "alpha": repr(power.alpha),
+            "static": repr(power.static),
+            "gamma": repr(power.gamma),
+            "method": method,
+        },
+        separators=(",", ":"),
+    )
+    return hashlib.sha256(payload.encode()).hexdigest()

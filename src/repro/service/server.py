@@ -1,0 +1,426 @@
+"""The asyncio scheduling daemon: HTTP/JSON front end over the pipeline.
+
+Request flow for ``POST /schedule``::
+
+    parse → canonicalize → cache probe ──hit──→ respond (no pool entry)
+                                └─miss─→ micro-batcher → process pool → respond
+
+Robustness:
+
+* **shedding** — at most ``max_inflight`` requests are in progress; the
+  excess is refused immediately with 429 (bounded queue, not unbounded
+  backlog),
+* **deadlines** — each accepted request runs under ``request_timeout``
+  and answers 504 if the solve can't make it,
+* **graceful shutdown** — :meth:`SchedulingService.stop` closes the
+  listener, drains every accepted request to a written response, flushes
+  the batcher, and only then tears down the executor: an accepted
+  request is never dropped.
+
+The HTTP layer is a minimal, dependency-free HTTP/1.1 subset (JSON
+bodies, ``Content-Length`` framing, keep-alive) — enough for the API and
+the loadgen client, not a general-purpose web server.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import logging
+import signal
+import time
+
+from .batcher import MicroBatcher
+from .cache import PlanCache
+from .config import ServiceConfig
+from .metrics import MetricsRegistry
+from .pool import SolveDispatcher
+from .protocol import (
+    AdmitRequest,
+    OptimalRequest,
+    ProtocolError,
+    ScheduleRequest,
+    canonical_order,
+    canonical_plan_key,
+)
+
+__all__ = ["SchedulingService", "run_service"]
+
+log = logging.getLogger("repro.service")
+
+_MAX_BODY = 16 * 1024 * 1024  # refuse absurd payloads before buffering them
+
+_STATUS_TEXT = {
+    200: "OK",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    413: "Payload Too Large",
+    429: "Too Many Requests",
+    500: "Internal Server Error",
+    503: "Service Unavailable",
+    504: "Gateway Timeout",
+}
+
+
+class SchedulingService:
+    """One daemon instance; embeddable (tests) or run via :func:`run_service`."""
+
+    def __init__(self, config: ServiceConfig | None = None):
+        from ..core.admission import AdmissionController
+        from ..power.models import PolynomialPower
+
+        self.config = config or ServiceConfig()
+        self.metrics = MetricsRegistry()
+        self.cache = PlanCache(self.config.cache_size)
+        self.dispatcher = SolveDispatcher(self.config.workers)
+        self.batcher = MicroBatcher(
+            self.dispatcher.solve_batch,
+            window=self.config.batch_window,
+            max_batch=self.config.batch_max,
+        )
+        self.admission = AdmissionController(
+            m=self.config.m,
+            power=PolynomialPower(
+                alpha=self.config.alpha, static=self.config.static
+            ),
+            f_max=self.config.f_max,
+        )
+        self._admit_lock = asyncio.Lock()
+        self._server: asyncio.base_events.Server | None = None
+        self._connections: set[asyncio.StreamWriter] = set()
+        self._in_progress = 0
+        self._drained: asyncio.Event = asyncio.Event()
+        self._drained.set()
+        self._closing = False
+        self._started_at = 0.0
+        self._log_task: asyncio.Task | None = None
+        self._routes = {
+            ("POST", "/schedule"): self._handle_schedule,
+            ("POST", "/admit"): self._handle_admit,
+            ("POST", "/optimal"): self._handle_optimal,
+            ("GET", "/metrics"): self._handle_metrics,
+            ("GET", "/healthz"): self._handle_healthz,
+        }
+
+    # -- lifecycle -----------------------------------------------------------------
+
+    @property
+    def port(self) -> int:
+        """The bound port (resolves ``port=0`` to the ephemeral choice)."""
+        if self._server is None:
+            raise RuntimeError("service is not running")
+        return self._server.sockets[0].getsockname()[1]
+
+    async def start(self) -> None:
+        self._started_at = time.monotonic()
+        self._server = await asyncio.start_server(
+            self._handle_conn, self.config.host, self.config.port
+        )
+        if self.config.log_interval > 0:
+            self._log_task = asyncio.get_running_loop().create_task(
+                self._log_periodically()
+            )
+        log.info(
+            "listening on %s:%d (workers=%d window=%gms batch_max=%d cache=%d)",
+            self.config.host,
+            self.port,
+            self.config.workers,
+            self.config.batch_window * 1e3,
+            self.config.batch_max,
+            self.config.cache_size,
+        )
+
+    async def stop(self) -> None:
+        """Graceful shutdown: drain accepted requests, then tear down."""
+        self._closing = True
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        await self._drained.wait()  # every accepted request has responded
+        await self.batcher.close()
+        if self._log_task is not None:
+            self._log_task.cancel()
+            self._log_task = None
+        await asyncio.get_running_loop().run_in_executor(
+            None, self.dispatcher.shutdown
+        )
+        for writer in list(self._connections):  # idle keep-alive connections
+            writer.close()
+        self._server = None
+        log.info("shutdown complete: %s", self.metrics.summary_line())
+
+    async def _log_periodically(self) -> None:
+        while True:
+            await asyncio.sleep(self.config.log_interval)
+            log.info("%s", self.metrics.summary_line())
+
+    # -- HTTP plumbing -------------------------------------------------------------
+
+    async def _handle_conn(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        self._connections.add(writer)
+        try:
+            while True:
+                request = await self._read_request(reader, writer)
+                if request is None:
+                    break
+                method, path, headers, body = request
+                keep_alive = headers.get("connection", "").lower() != "close"
+                if self._closing:
+                    status, payload, keep_alive = 503, {"error": "shutting down"}, False
+                else:
+                    status, payload = await self._serve(method, path, body)
+                await self._write_response(writer, status, payload, keep_alive)
+                if not keep_alive:
+                    break
+        except (ConnectionError, asyncio.IncompleteReadError, asyncio.LimitOverrunError):
+            pass  # client went away mid-request
+        finally:
+            self._connections.discard(writer)
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError, asyncio.CancelledError):
+                pass  # teardown only: nothing left to do for this connection
+
+    async def _read_request(self, reader, writer):
+        """Parse one HTTP request; None on clean EOF, 400 on malformed input."""
+        try:
+            # one readuntil for the whole head: fewer event-loop round trips
+            # per request than line-by-line parsing (this path is the serving
+            # hot loop)
+            head = await reader.readuntil(b"\r\n\r\n")
+        except asyncio.IncompleteReadError as exc:
+            if not exc.partial:
+                return None  # clean EOF between keep-alive requests
+            raise
+        lines = head.decode("latin-1").split("\r\n")
+        try:
+            method, target, _version = lines[0].split()
+        except ValueError:
+            await self._write_response(
+                writer, 400, {"error": "malformed request line"}, False
+            )
+            return None
+        headers: dict[str, str] = {}
+        for raw in lines[1:]:
+            if ":" in raw:
+                name, _, value = raw.partition(":")
+                headers[name.strip().lower()] = value.strip()
+        length = int(headers.get("content-length", "0") or "0")
+        if length > _MAX_BODY:
+            await self._write_response(writer, 413, {"error": "body too large"}, False)
+            return None
+        body = await reader.readexactly(length) if length else b""
+        return method.upper(), target, headers, body
+
+    async def _write_response(
+        self, writer, status: int, payload: dict, keep_alive: bool
+    ) -> None:
+        data = json.dumps(payload).encode()
+        head = (
+            f"HTTP/1.1 {status} {_STATUS_TEXT.get(status, 'Unknown')}\r\n"
+            f"Content-Type: application/json\r\n"
+            f"Content-Length: {len(data)}\r\n"
+            f"Connection: {'keep-alive' if keep_alive else 'close'}\r\n"
+            "\r\n"
+        ).encode("latin-1")
+        writer.write(head + data)
+        await writer.drain()
+
+    # -- routing + robustness ------------------------------------------------------
+
+    async def _serve(self, method: str, path: str, body: bytes):
+        """Route one request, with shedding, deadline, and metrics wrapping."""
+        route = self._routes.get((method, path))
+        if route is None:
+            known = {"/schedule", "/admit", "/optimal", "/metrics", "/healthz"}
+            status = 405 if path in known else 404
+            return status, {"error": f"no route {method} {path}"}
+
+        self.metrics.counter(f"requests_total:{path}").inc()
+        if self._in_progress >= self.config.max_inflight:
+            self.metrics.counter("shed_total").inc()
+            self.metrics.counter(f"responses:{path}:429").inc()
+            return 429, {
+                "error": "overloaded",
+                "max_inflight": self.config.max_inflight,
+            }
+
+        self._in_progress += 1
+        self._drained.clear()
+        self.metrics.gauge("in_progress").set(self._in_progress)
+        t0 = time.perf_counter()
+        try:
+            parsed = self._parse_body(body)
+            if isinstance(parsed, tuple):  # (status, payload) error short-circuit
+                status, payload = parsed
+            else:
+                try:
+                    status, payload = await asyncio.wait_for(
+                        route(parsed), timeout=self.config.request_timeout
+                    )
+                except asyncio.TimeoutError:
+                    self.metrics.counter("timeout_total").inc()
+                    status, payload = 504, {
+                        "error": "deadline exceeded",
+                        "timeout_s": self.config.request_timeout,
+                    }
+        except ProtocolError as exc:
+            status, payload = 400, {"error": str(exc)}
+        except Exception as exc:  # noqa: BLE001 - one request must not kill the loop
+            log.exception("unhandled error serving %s %s", method, path)
+            status, payload = 500, {"error": f"{type(exc).__name__}: {exc}"}
+        finally:
+            self._in_progress -= 1
+            self.metrics.gauge("in_progress").set(self._in_progress)
+            if self._in_progress == 0:
+                self._drained.set()
+        self.metrics.histogram(f"latency_ms:{path}").observe(
+            (time.perf_counter() - t0) * 1e3
+        )
+        self.metrics.counter(f"responses:{path}:{status}").inc()
+        return status, payload
+
+    @staticmethod
+    def _parse_body(body: bytes):
+        if not body:
+            return {}
+        try:
+            return json.loads(body.decode())
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            return 400, {"error": f"invalid JSON body: {exc}"}
+
+    # -- endpoint handlers ---------------------------------------------------------
+
+    async def _handle_schedule(self, body: dict):
+        req = ScheduleRequest.from_body(
+            body,
+            default_m=self.config.m,
+            default_alpha=self.config.alpha,
+            default_static=self.config.static,
+        )
+        tasks = sorted(req.tasks, key=canonical_order)
+        key = canonical_plan_key(tasks, req.m, req.power, req.method)
+        if not req.include_schedule:
+            key += ":light"
+        cached = self.cache.get(key)
+        if cached is not None:
+            self.metrics.counter("cache_hits").inc()
+            return 200, {**cached, "cache_hit": True}
+        self.metrics.counter("cache_misses").inc()
+        job = {
+            "tasks": [(t.release, t.deadline, t.work, t.name) for t in tasks],
+            "m": req.m,
+            "alpha": req.power.alpha,
+            "static": req.power.static,
+            "gamma": req.power.gamma,
+            "method": req.method,
+            "include_schedule": req.include_schedule,
+        }
+        result = await self.batcher.submit(job)
+        if "error" in result:
+            return 500, {"error": result["error"]}
+        self.cache.put(key, result)
+        return 200, {**result, "cache_hit": False}
+
+    async def _handle_admit(self, body: dict):
+        req = AdmitRequest.from_body(body)
+        async with self._admit_lock:  # admissions are stateful: serialize them
+            if req.reset:
+                self.admission.reset()
+            if req.task is None:
+                return 200, {
+                    "reset": True,
+                    "committed": len(self.admission.committed or ()),
+                }
+            decision = await asyncio.get_running_loop().run_in_executor(
+                None, self.admission.try_admit, req.task
+            )
+            committed = len(self.admission.committed or ())
+            total_energy = self.admission.current_energy
+        self.metrics.counter(
+            "admissions_accepted" if decision.accepted else "admissions_rejected"
+        ).inc()
+        return 200, {
+            "accepted": decision.accepted,
+            "reason": decision.reason,
+            "marginal_energy": decision.marginal_energy,
+            "committed": committed,
+            "total_energy": total_energy,
+            "f_max": self.config.f_max,
+        }
+
+    async def _handle_optimal(self, body: dict):
+        req = OptimalRequest.from_body(
+            body,
+            default_m=self.config.m,
+            default_alpha=self.config.alpha,
+            default_static=self.config.static,
+        )
+        tasks = sorted(req.tasks, key=canonical_order)
+        job = {
+            "tasks": [(t.release, t.deadline, t.work, t.name) for t in tasks],
+            "m": req.m,
+            "alpha": req.power.alpha,
+            "static": req.power.static,
+            "gamma": req.power.gamma,
+            "solver": req.solver,
+        }
+        result = await self.dispatcher.solve_optimal(job)
+        if "error" in result:
+            return 500, {"error": result["error"]}
+        return 200, result
+
+    async def _handle_metrics(self, _body: dict):
+        return 200, {
+            "uptime_s": round(time.monotonic() - self._started_at, 3),
+            "metrics": self.metrics.snapshot(),
+            "cache": self.cache.stats(),
+            "batcher": {
+                "batches": self.batcher.batches,
+                "jobs": self.batcher.jobs,
+                "largest_batch": self.batcher.largest_batch,
+                "pending": self.batcher.pending,
+                "window_s": self.batcher.window,
+                "max_batch": self.batcher.max_batch,
+            },
+            "pool": {
+                "workers": self.dispatcher.workers,
+                "dispatches": self.dispatcher.dispatch_count,
+                "batches": self.dispatcher.batch_count,
+            },
+        }
+
+    async def _handle_healthz(self, _body: dict):
+        return 200, {
+            "status": "ok",
+            "uptime_s": round(time.monotonic() - self._started_at, 3),
+            "version": _version(),
+        }
+
+
+def _version() -> str:
+    from .. import __version__
+
+    return __version__
+
+
+async def run_service(config: ServiceConfig) -> None:
+    """Run a service until SIGINT/SIGTERM, then shut down gracefully."""
+    service = SchedulingService(config)
+    await service.start()
+    stop = asyncio.Event()
+    loop = asyncio.get_running_loop()
+    for sig in (signal.SIGINT, signal.SIGTERM):
+        try:
+            loop.add_signal_handler(sig, stop.set)
+        except NotImplementedError:  # pragma: no cover - non-Unix platforms
+            pass
+    print(f"repro.service listening on http://{service.config.host}:{service.port}")
+    try:
+        await stop.wait()
+    finally:
+        await service.stop()

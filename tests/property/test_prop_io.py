@@ -1,9 +1,13 @@
 """Property tests: serialization round-trips on arbitrary instances."""
 
+import csv
+import io
+
 import pytest
 from hypothesis import given, settings
+from hypothesis import strategies as st
 
-from repro.core import SubintervalScheduler
+from repro.core import SubintervalScheduler, Task, TaskSet
 from repro.io import (
     schedule_from_json,
     schedule_to_json,
@@ -14,6 +18,33 @@ from repro.io import (
 )
 
 from .strategies import power_strategy, tasks_strategy
+
+# Adversarial floats: arbitrary mantissas (0.1+0.2-style non-terminating
+# binary fractions) across many orders of magnitude — the regime where the
+# old %.12g CSV formatting dropped bits.
+_finite = st.floats(
+    min_value=1e-9, max_value=1e12, allow_nan=False, allow_infinity=False
+)
+# Names that stress CSV quoting (commas, quotes, semicolons) but are
+# strip-stable, since the CSV reader trims surrounding whitespace.
+_name = st.text(
+    alphabet=st.sampled_from('abcXYZ019,;"\'_-'), min_size=0, max_size=8
+).filter(lambda s: s == s.strip())
+
+
+@st.composite
+def hard_tasks_strategy(draw, max_size: int = 8) -> TaskSet:
+    """Task sets with adversarial float values and CSV-hostile names."""
+    n = draw(st.integers(min_value=1, max_value=max_size))
+    out = []
+    for _ in range(n):
+        release = draw(_finite)
+        window = draw(_finite)
+        deadline = release + window
+        if deadline <= release:  # window underflowed at this magnitude
+            deadline = release * (1 + 1e-9) + 1e-9
+        out.append(Task(release, deadline, draw(_finite), name=draw(_name)))
+    return TaskSet(out)
 
 
 @given(tasks_strategy())
@@ -31,6 +62,36 @@ def test_csv_roundtrip(tasks):
         assert a.release == pytest.approx(b.release, rel=1e-10)
         assert a.deadline == pytest.approx(b.deadline, rel=1e-10)
         assert a.work == pytest.approx(b.work, rel=1e-10)
+
+
+@given(hard_tasks_strategy())
+@settings(max_examples=100, deadline=None)
+def test_csv_roundtrip_bit_exact(tasks):
+    """CSV must round-trip *exactly* — values, names, and count."""
+    assert taskset_from_csv(taskset_to_csv(tasks)) == tasks
+
+
+@given(hard_tasks_strategy())
+@settings(max_examples=100, deadline=None)
+def test_json_csv_chain_roundtrip(tasks):
+    """The service parser's full path: TaskSet → JSON → CSV → TaskSet."""
+    via_json = taskset_from_json(taskset_to_json(tasks))
+    assert taskset_from_csv(taskset_to_csv(via_json)) == tasks
+
+
+@given(hard_tasks_strategy(), st.permutations(["release", "deadline", "work", "name"]))
+@settings(max_examples=60, deadline=None)
+def test_csv_column_order_invariance(tasks, order):
+    """Loading is header-driven: any column permutation parses identically."""
+    rows = list(csv.reader(io.StringIO(taskset_to_csv(tasks))))
+    header, body = rows[0], rows[1:]
+    perm = [header.index(col) for col in order]
+    buf = io.StringIO()
+    writer = csv.writer(buf)
+    writer.writerow(order)
+    for row in body:
+        writer.writerow([row[j] for j in perm])
+    assert taskset_from_csv(buf.getvalue()) == tasks
 
 
 @given(tasks_strategy(max_size=6), power_strategy())

@@ -1,0 +1,144 @@
+"""Unit tests for the micro-batcher: window flush, size flush, fast path."""
+
+import asyncio
+import time
+
+import pytest
+
+from repro.service.batcher import MicroBatcher
+
+
+class Recorder:
+    """Dispatch stub that records every batch it receives."""
+
+    def __init__(self, delay: float = 0.0):
+        self.batches: list[list] = []
+        self.delay = delay
+
+    async def __call__(self, jobs):
+        self.batches.append(list(jobs))
+        if self.delay:
+            await asyncio.sleep(self.delay)
+        return [f"r:{job}" for job in jobs]
+
+
+def test_window_flush_coalesces_concurrent_submits():
+    async def run():
+        rec = Recorder()
+        b = MicroBatcher(rec, window=0.02, max_batch=100)
+        results = await asyncio.gather(b.submit("a"), b.submit("b"), b.submit("c"))
+        assert results == ["r:a", "r:b", "r:c"]
+        assert rec.batches == [["a", "b", "c"]]  # one dispatch, order kept
+        assert (b.batches, b.jobs, b.largest_batch) == (1, 3, 3)
+
+    asyncio.run(run())
+
+
+def test_max_size_flush_fires_before_window():
+    async def run():
+        rec = Recorder()
+        b = MicroBatcher(rec, window=5.0, max_batch=3)  # window too long to wait
+        t0 = time.perf_counter()
+        results = await asyncio.gather(*(b.submit(i) for i in range(3)))
+        elapsed = time.perf_counter() - t0
+        assert results == ["r:0", "r:1", "r:2"]
+        assert len(rec.batches) == 1
+        assert elapsed < 1.0  # flushed on size, not on the 5 s window
+
+    asyncio.run(run())
+
+
+def test_overflow_starts_a_new_batch():
+    async def run():
+        rec = Recorder()
+        b = MicroBatcher(rec, window=0.01, max_batch=2)
+        results = await asyncio.gather(*(b.submit(i) for i in range(5)))
+        assert results == [f"r:{i}" for i in range(5)]
+        assert [len(batch) for batch in rec.batches] == [2, 2, 1]
+
+    asyncio.run(run())
+
+
+def test_single_request_fast_path_window_zero():
+    async def run():
+        rec = Recorder()
+        b = MicroBatcher(rec, window=0, max_batch=100)
+        assert await b.submit("x") == "r:x"
+        assert await b.submit("y") == "r:y"
+        # no coalescing: each submit dispatched alone, immediately
+        assert rec.batches == [["x"], ["y"]]
+        assert b.pending == 0
+
+    asyncio.run(run())
+
+
+def test_single_request_fast_path_max_batch_one():
+    async def run():
+        rec = Recorder()
+        b = MicroBatcher(rec, window=1.0, max_batch=1)
+        t0 = time.perf_counter()
+        assert await b.submit("x") == "r:x"
+        assert time.perf_counter() - t0 < 0.5  # did not wait out the window
+        assert rec.batches == [["x"]]
+
+    asyncio.run(run())
+
+
+def test_dispatch_error_propagates_to_every_waiter():
+    async def run():
+        async def boom(jobs):
+            raise RuntimeError("solver crashed")
+
+        b = MicroBatcher(boom, window=0.01, max_batch=10)
+        results = await asyncio.gather(
+            b.submit(1), b.submit(2), return_exceptions=True
+        )
+        assert all(isinstance(r, RuntimeError) for r in results)
+
+    asyncio.run(run())
+
+
+def test_result_count_mismatch_is_an_error():
+    async def run():
+        async def short(jobs):
+            return ["only-one"]
+
+        b = MicroBatcher(short, window=0.01, max_batch=10)
+        results = await asyncio.gather(
+            b.submit(1), b.submit(2), return_exceptions=True
+        )
+        assert all(isinstance(r, RuntimeError) for r in results)
+
+    asyncio.run(run())
+
+
+def test_flush_drains_pending_before_window_expiry():
+    async def run():
+        rec = Recorder()
+        b = MicroBatcher(rec, window=60.0, max_batch=100)  # would wait a minute
+        waiter = asyncio.ensure_future(b.submit("a"))
+        await asyncio.sleep(0)  # let the submit enqueue
+        assert b.pending == 1
+        await b.flush()
+        assert await waiter == "r:a"
+        assert rec.batches == [["a"]]
+
+    asyncio.run(run())
+
+
+def test_closed_batcher_refuses_submits():
+    async def run():
+        b = MicroBatcher(Recorder(), window=0.01, max_batch=4)
+        await b.close()
+        with pytest.raises(RuntimeError, match="closed"):
+            await b.submit("x")
+
+    asyncio.run(run())
+
+
+def test_constructor_validation():
+    rec = Recorder()
+    with pytest.raises(ValueError):
+        MicroBatcher(rec, window=-1)
+    with pytest.raises(ValueError):
+        MicroBatcher(rec, max_batch=0)

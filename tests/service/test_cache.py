@@ -1,0 +1,104 @@
+"""Unit tests for the LRU plan cache and its canonical keys."""
+
+import pytest
+
+from repro.core import Task, TaskSet
+from repro.power import PolynomialPower
+from repro.service.cache import PlanCache
+from repro.service.protocol import canonical_plan_key, canonicalize_tasks
+
+_POWER = PolynomialPower(alpha=3.0, static=0.1)
+
+
+def _tasks(order):
+    rows = {
+        "a": Task(0.0, 10.0, 8.0),
+        "b": Task(2.0, 18.0, 14.0),
+        "c": Task(4.0, 16.0, 8.0),
+    }
+    return TaskSet(rows[k] for k in order)
+
+
+class TestLru:
+    def test_miss_then_hit(self):
+        cache = PlanCache(4)
+        assert cache.get("k") is None
+        cache.put("k", 42)
+        assert cache.get("k") == 42
+        assert (cache.hits, cache.misses) == (1, 1)
+        assert cache.hit_rate == 0.5
+
+    def test_evicts_least_recently_used(self):
+        cache = PlanCache(2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        assert cache.get("a") == 1  # refresh a: b is now LRU
+        cache.put("c", 3)
+        assert "b" not in cache
+        assert "a" in cache and "c" in cache
+        assert cache.evictions == 1
+
+    def test_put_refreshes_recency(self):
+        cache = PlanCache(2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        cache.put("a", 10)  # rewrite refreshes, b becomes LRU
+        cache.put("c", 3)
+        assert "b" not in cache
+        assert cache.get("a") == 10
+
+    def test_capacity_zero_disables(self):
+        cache = PlanCache(0)
+        cache.put("a", 1)
+        assert len(cache) == 0
+        assert cache.get("a") is None
+
+    def test_rejects_negative_capacity(self):
+        with pytest.raises(ValueError):
+            PlanCache(-1)
+
+    def test_stats_dict(self):
+        cache = PlanCache(8)
+        cache.put("a", 1)
+        cache.get("a")
+        cache.get("zzz")
+        stats = cache.stats()
+        assert stats["size"] == 1
+        assert stats["hits"] == 1
+        assert stats["misses"] == 1
+        assert stats["hit_rate"] == 0.5
+
+
+class TestCanonicalKey:
+    def test_permuted_task_order_hits_same_entry(self):
+        k1 = canonical_plan_key(_tasks("abc"), 4, _POWER, "der")
+        k2 = canonical_plan_key(_tasks("cab"), 4, _POWER, "der")
+        k3 = canonical_plan_key(_tasks("bca"), 4, _POWER, "der")
+        assert k1 == k2 == k3
+
+    def test_different_platform_is_different_key(self):
+        base = canonical_plan_key(_tasks("abc"), 4, _POWER, "der")
+        assert canonical_plan_key(_tasks("abc"), 5, _POWER, "der") != base
+        assert canonical_plan_key(_tasks("abc"), 4, _POWER, "even") != base
+        other = PolynomialPower(alpha=3.0, static=0.2)
+        assert canonical_plan_key(_tasks("abc"), 4, other, "der") != base
+
+    def test_nearby_floats_do_not_collide(self):
+        t1 = TaskSet([Task(0.0, 10.0, 8.0)])
+        t2 = TaskSet([Task(0.0, 10.0, 8.0 + 1e-15)])
+        assert canonical_plan_key(t1, 4, _POWER, "der") != canonical_plan_key(
+            t2, 4, _POWER, "der"
+        )
+
+    def test_names_participate_in_identity(self):
+        t1 = TaskSet([Task(0.0, 10.0, 8.0, name="x")])
+        t2 = TaskSet([Task(0.0, 10.0, 8.0, name="y")])
+        assert canonical_plan_key(t1, 4, _POWER, "der") != canonical_plan_key(
+            t2, 4, _POWER, "der"
+        )
+
+    def test_canonicalize_sorts_stably(self):
+        out = canonicalize_tasks(_tasks("cba"))
+        assert [t.release for t in out] == [0.0, 2.0, 4.0]
+        # canonical form is idempotent
+        assert canonicalize_tasks(out) == out

@@ -1,0 +1,401 @@
+"""End-to-end tests: real daemon on an ephemeral port, real HTTP clients.
+
+Everything runs in-process (``workers=0`` solves in a thread executor)
+except one test that exercises the actual ``ProcessPoolExecutor`` path.
+Each test owns its event loop via ``asyncio.run``; the service binds
+port 0 so tests parallelize safely.
+"""
+
+import asyncio
+import json
+
+import pytest
+
+from repro.io import schedule_from_json
+from repro.service import SchedulingService, ServiceConfig
+from repro.service.loadgen import HttpClient, request_once, run_loadgen
+from repro.sim import validate_schedule
+
+_TASKS = [[0.0, 10.0, 8.0], [2.0, 18.0, 14.0], [4.0, 16.0, 8.0]]
+_BASE = dict(port=0, workers=0, log_interval=0)
+
+
+def _config(**kwargs) -> ServiceConfig:
+    return ServiceConfig(**{**_BASE, **kwargs})
+
+
+def _run(test_coro, config: ServiceConfig | None = None, *, stop: bool = True):
+    """Boot a service, run ``test_coro(service)``, gracefully stop."""
+
+    async def runner():
+        service = SchedulingService(config or _config())
+        await service.start()
+        try:
+            return await test_coro(service)
+        finally:
+            if stop:
+                await service.stop()
+
+    return asyncio.run(runner())
+
+
+def _schedule_payload(tasks=_TASKS, **over):
+    return {"tasks": tasks, "m": 2, "alpha": 3.0, "static": 0.1,
+            "method": "der", **over}
+
+
+class TestScheduleEndpoint:
+    def test_concurrent_clients_all_validate(self):
+        """The acceptance e2e: concurrent clients, responses pass sim/validate."""
+
+        async def scenario(service):
+            async def one_client(seed):
+                # distinct work per client so responses genuinely differ
+                tasks = [[0.0, 10.0, 4.0 + seed], [1.0, 12.0, 3.0 + seed]]
+                status, body = await request_once(
+                    "127.0.0.1", service.port, "POST", "/schedule",
+                    _schedule_payload(tasks=tasks),
+                )
+                return status, body
+
+            results = await asyncio.gather(*(one_client(s) for s in range(8)))
+            for status, body in results:
+                assert status == 200
+                assert body["energy"] > 0
+                assert body["kind"] == "S^F2"
+                schedule = schedule_from_json(json.dumps(body["schedule"]))
+                assert validate_schedule(schedule) == []
+
+        _run(scenario, _config(batch_window=0.01, batch_max=8))
+
+    def test_permuted_task_order_is_a_cache_hit_without_pool_entry(self):
+        """Warm hits (incl. permutations) never touch the solve executor."""
+
+        async def scenario(service):
+            cold_status, cold = await request_once(
+                "127.0.0.1", service.port, "POST", "/schedule", _schedule_payload()
+            )
+            assert cold_status == 200 and cold["cache_hit"] is False
+            dispatches_after_cold = service.dispatcher.dispatch_count
+            assert dispatches_after_cold > 0
+
+            permuted = [_TASKS[2], _TASKS[0], _TASKS[1]]
+            for tasks in (_TASKS, permuted):
+                status, warm = await request_once(
+                    "127.0.0.1", service.port, "POST", "/schedule",
+                    _schedule_payload(tasks=tasks),
+                )
+                assert status == 200
+                assert warm["cache_hit"] is True
+                assert warm["energy"] == cold["energy"]
+            # the pool-call count is unchanged by warm traffic
+            assert service.dispatcher.dispatch_count == dispatches_after_cold
+            assert service.cache.hits == 2
+
+        _run(scenario)
+
+    def test_online_method_reports_replans(self):
+        async def scenario(service):
+            status, body = await request_once(
+                "127.0.0.1", service.port, "POST", "/schedule",
+                _schedule_payload(method="online"),
+            )
+            assert status == 200
+            assert body["kind"] == "online"
+            assert body["replans"] >= 0
+
+        _run(scenario)
+
+    def test_include_schedule_false_is_lighter(self):
+        async def scenario(service):
+            status, body = await request_once(
+                "127.0.0.1", service.port, "POST", "/schedule",
+                _schedule_payload(include_schedule=False),
+            )
+            assert status == 200
+            assert "schedule" not in body
+            # a later full request must NOT be served from the light entry
+            status, full = await request_once(
+                "127.0.0.1", service.port, "POST", "/schedule", _schedule_payload()
+            )
+            assert status == 200 and "schedule" in full
+
+        _run(scenario)
+
+    def test_malformed_requests_get_400(self):
+        async def scenario(service):
+            for payload in (
+                {"m": 2},  # no tasks
+                {"tasks": []},
+                {"tasks": _TASKS, "method": "magic"},
+                {"tasks": [[5.0, 1.0, 2.0]]},  # deadline < release
+            ):
+                status, body = await request_once(
+                    "127.0.0.1", service.port, "POST", "/schedule", payload
+                )
+                assert status == 400
+                assert "error" in body
+
+        _run(scenario)
+
+    def test_process_pool_workers(self):
+        """The real ProcessPoolExecutor path: pickled jobs, chunked batches."""
+
+        async def scenario(service):
+            results = await asyncio.gather(*(
+                request_once(
+                    "127.0.0.1", service.port, "POST", "/schedule",
+                    _schedule_payload(tasks=[[0.0, 10.0, 2.0 + i]]),
+                )
+                for i in range(4)
+            ))
+            assert [status for status, _ in results] == [200] * 4
+            assert service.dispatcher.dispatch_count >= 1
+
+        _run(scenario, _config(workers=1, batch_window=0.02, batch_max=8,
+                               request_timeout=120.0))
+
+
+class TestRobustness:
+    def test_shedding_beyond_max_inflight(self):
+        async def scenario(service):
+            release = asyncio.Event()
+
+            async def slow_dispatch(jobs):
+                await release.wait()
+                return [{"kind": "S^F2", "energy": 1.0, "n_tasks": 1, "m": 2,
+                         "method": "der"} for _ in jobs]
+
+            service.batcher._dispatch = slow_dispatch
+
+            async def fire(i):
+                return await request_once(
+                    "127.0.0.1", service.port, "POST", "/schedule",
+                    _schedule_payload(tasks=[[0.0, 10.0, 1.0 + i]]),
+                )
+
+            clients = [asyncio.ensure_future(fire(i)) for i in range(6)]
+            await asyncio.sleep(0.15)  # let 2 occupy the slots, rest arrive
+            release.set()
+            results = await asyncio.gather(*clients)
+            statuses = sorted(status for status, _ in results)
+            assert statuses.count(429) == 4
+            assert statuses.count(200) == 2
+            status, metrics = await request_once(
+                "127.0.0.1", service.port, "GET", "/metrics"
+            )
+            assert metrics["metrics"]["counters"]["shed_total"] == 4
+
+        _run(scenario, _config(max_inflight=2, batch_window=0.001, batch_max=1))
+
+    def test_request_deadline_yields_504(self):
+        async def scenario(service):
+            async def stuck_dispatch(jobs):
+                await asyncio.sleep(60)
+
+            service.batcher._dispatch = stuck_dispatch
+            status, body = await request_once(
+                "127.0.0.1", service.port, "POST", "/schedule", _schedule_payload()
+            )
+            assert status == 504
+            assert "deadline" in body["error"]
+
+        _run(scenario, _config(request_timeout=0.2, batch_window=0.001, batch_max=1))
+
+    def test_graceful_shutdown_loses_zero_accepted_requests(self):
+        """stop() during in-flight traffic: every accepted request answers 200."""
+
+        async def scenario(service):
+            inner = service.batcher._dispatch
+
+            async def slow_dispatch(jobs):
+                await asyncio.sleep(0.2)  # keep requests in flight during stop()
+                return await inner(jobs)
+
+            service.batcher._dispatch = slow_dispatch
+
+            async def fire(i):
+                return await request_once(
+                    "127.0.0.1", service.port, "POST", "/schedule",
+                    _schedule_payload(tasks=[[0.0, 10.0, 1.0 + i]]),
+                )
+
+            clients = [asyncio.ensure_future(fire(i)) for i in range(6)]
+            await asyncio.sleep(0.1)  # all 6 accepted, none answered yet
+            assert service._in_progress > 0
+            await service.stop()  # drains before tearing down
+            results = await asyncio.gather(*clients)
+            assert [status for status, _ in results] == [200] * 6
+            for _, body in results:
+                assert body["energy"] > 0
+
+        _run(scenario, _config(batch_window=0.03, batch_max=3), stop=False)
+
+    def test_rejects_new_requests_while_closing(self):
+        async def scenario(service):
+            await service.stop()
+            # the listener is closed: new connections must fail
+            with pytest.raises((ConnectionError, OSError)):
+                await request_once(
+                    "127.0.0.1", service.port, "GET", "/healthz"
+                )
+
+        # service.port raises after stop(); capture it before
+        async def runner():
+            service = SchedulingService(_config())
+            await service.start()
+            port = service.port
+            await service.stop()
+            with pytest.raises((ConnectionError, OSError)):
+                await request_once("127.0.0.1", port, "GET", "/healthz")
+
+        asyncio.run(runner())
+
+
+class TestRoutingAndMetrics:
+    def test_unknown_route_404_wrong_method_405(self):
+        async def scenario(service):
+            status, _ = await request_once(
+                "127.0.0.1", service.port, "GET", "/nope"
+            )
+            assert status == 404
+            status, _ = await request_once(
+                "127.0.0.1", service.port, "GET", "/schedule"
+            )
+            assert status == 405
+
+        _run(scenario)
+
+    def test_invalid_json_body_400(self):
+        async def scenario(service):
+            reader, writer = await asyncio.open_connection(
+                "127.0.0.1", service.port
+            )
+            body = b"{not json"
+            writer.write(
+                b"POST /schedule HTTP/1.1\r\nContent-Length: "
+                + str(len(body)).encode() + b"\r\nConnection: close\r\n\r\n" + body
+            )
+            await writer.drain()
+            line = await reader.readline()
+            assert b"400" in line
+            writer.close()
+
+        _run(scenario)
+
+    def test_metrics_exposes_required_series(self):
+        """Acceptance: request counts, shed, cache hit rate, percentiles."""
+
+        async def scenario(service):
+            for _ in range(3):  # 1 miss + 2 hits
+                await request_once(
+                    "127.0.0.1", service.port, "POST", "/schedule",
+                    _schedule_payload(),
+                )
+            status, m = await request_once(
+                "127.0.0.1", service.port, "GET", "/metrics"
+            )
+            assert status == 200
+            counters = m["metrics"]["counters"]
+            assert counters["requests_total:/schedule"] == 3
+            assert counters["responses:/schedule:200"] == 3
+            assert counters.get("shed_total", 0) == 0
+            assert counters["cache_hits"] == 2
+            assert counters["cache_misses"] == 1
+            assert m["cache"]["hit_rate"] == pytest.approx(2 / 3)
+            lat = m["metrics"]["histograms"]["latency_ms:/schedule"]
+            assert lat["count"] == 3
+            for q in ("p50", "p95", "p99"):
+                assert lat[q] is not None and lat[q] >= 0
+            assert m["batcher"]["jobs"] == 1  # hits never reached the batcher
+            assert m["uptime_s"] >= 0
+
+        _run(scenario)
+
+    def test_healthz(self):
+        async def scenario(service):
+            status, body = await request_once(
+                "127.0.0.1", service.port, "GET", "/healthz"
+            )
+            assert status == 200
+            assert body["status"] == "ok"
+            assert "version" in body
+
+        _run(scenario)
+
+
+class TestAdmitAndOptimal:
+    def test_admission_is_stateful_until_reset(self):
+        async def scenario(service):
+            client = HttpClient("127.0.0.1", service.port)
+            await client.connect()
+            try:
+                # 2 cores at f_max=1: three full-window unit-intensity tasks
+                # cannot all fit, so the third admission must be refused
+                accepted = []
+                for _ in range(3):
+                    status, body = await client.request(
+                        "POST", "/admit", {"task": [0.0, 10.0, 10.0]}
+                    )
+                    assert status == 200
+                    accepted.append(body["accepted"])
+                assert accepted == [True, True, False]
+                status, body = await client.request("POST", "/admit", {"reset": True})
+                assert status == 200 and body["committed"] == 0
+                status, body = await client.request(
+                    "POST", "/admit", {"task": [0.0, 10.0, 10.0]}
+                )
+                assert body["accepted"] is True
+                assert body["marginal_energy"] > 0
+            finally:
+                await client.close()
+
+        _run(scenario, _config(m=2, f_max=1.0))
+
+    def test_optimal_not_above_heuristic(self):
+        async def scenario(service):
+            _, sched = await request_once(
+                "127.0.0.1", service.port, "POST", "/schedule", _schedule_payload()
+            )
+            status, opt = await request_once(
+                "127.0.0.1", service.port, "POST", "/optimal",
+                {"tasks": _TASKS, "m": 2, "alpha": 3.0, "static": 0.1},
+            )
+            assert status == 200
+            assert opt["solver"] == "interior-point"
+            assert opt["energy"] <= sched["energy"] * (1 + 1e-6)
+            assert len(opt["frequencies"]) == len(_TASKS)
+
+        _run(scenario)
+
+
+class TestLoadgen:
+    def test_loadgen_round_trip_and_cache_warming(self):
+        async def scenario(service):
+            stats = await run_loadgen(
+                "127.0.0.1", service.port,
+                n_requests=40, concurrency=4, n_tasks=4, unique=5,
+                include_schedule=False, seed=3,
+            )
+            assert stats["ok"] == 40
+            assert stats["errors"] == 0
+            assert stats["latency_ms"]["p95"] >= stats["latency_ms"]["p50"]
+            # 5 unique task sets cycled 8x: the cache must be doing the work
+            assert service.cache.hits >= 30
+
+        _run(scenario, _config(batch_window=0.002, batch_max=16))
+
+    def test_loadgen_mixed_workload(self):
+        async def scenario(service):
+            stats = await run_loadgen(
+                "127.0.0.1", service.port,
+                n_requests=12, concurrency=3, n_tasks=3, unique=12,
+                optimal_frac=0.25, admit_frac=0.25, include_schedule=False,
+            )
+            assert stats["ok"] == 12
+            snap = service.metrics.snapshot()["counters"]
+            assert snap["requests_total:/optimal"] == 3
+            assert snap["requests_total:/admit"] == 3
+            assert snap["requests_total:/schedule"] == 6
+
+        _run(scenario)

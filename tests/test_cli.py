@@ -30,6 +30,83 @@ class TestParser:
         assert args.method == "der"
         assert args.alpha == 3.0
 
+    def test_version_flag(self, capsys):
+        from repro import __version__
+
+        with pytest.raises(SystemExit) as exc:
+            build_parser().parse_args(["--version"])
+        assert exc.value.code == 0
+        assert __version__ in capsys.readouterr().out
+
+    def test_serve_defaults(self):
+        args = build_parser().parse_args(["serve"])
+        assert args.host == "127.0.0.1"
+        assert args.port == 8421
+        assert args.workers == 0
+        assert args.batch_window_ms == 5.0
+        assert args.batch_max == 32
+        assert args.cache_size == 256
+        assert args.max_inflight == 256
+        assert args.f_max is None
+
+    def test_serve_flags_round_trip(self):
+        args = build_parser().parse_args(
+            ["serve", "--host", "0.0.0.0", "--port", "0", "--workers", "4",
+             "--batch-window-ms", "2.5", "--batch-max", "64",
+             "--cache-size", "1024", "--max-inflight", "100",
+             "--timeout", "5", "-m", "8", "--alpha", "2.5", "--static", "0.1",
+             "--f-max", "2.0", "--log-interval", "0"]
+        )
+        assert (args.host, args.port, args.workers) == ("0.0.0.0", 0, 4)
+        assert args.batch_window_ms == 2.5
+        assert args.batch_max == 64
+        assert args.cache_size == 1024
+        assert args.max_inflight == 100
+        assert args.timeout == 5.0
+        assert (args.cores, args.alpha, args.static) == (8, 2.5, 0.1)
+        assert args.f_max == 2.0
+        assert args.log_interval == 0.0
+
+    def test_serve_args_build_a_valid_config(self):
+        from repro.service import ServiceConfig
+
+        args = build_parser().parse_args(["serve", "--batch-window-ms", "0"])
+        config = ServiceConfig(
+            host=args.host, port=args.port, workers=args.workers,
+            batch_window=args.batch_window_ms / 1e3, batch_max=args.batch_max,
+            cache_size=args.cache_size, max_inflight=args.max_inflight,
+            request_timeout=args.timeout, m=args.cores, alpha=args.alpha,
+            static=args.static, f_max=args.f_max, log_interval=args.log_interval,
+        )
+        assert config.batch_window == 0.0
+
+    def test_loadgen_defaults(self):
+        args = build_parser().parse_args(["loadgen"])
+        assert args.requests == 500
+        assert args.concurrency == 16
+        assert args.unique == 50
+        assert args.optimal_frac == 0.0
+        assert args.include_schedule is False
+
+    def test_loadgen_flags_round_trip(self):
+        args = build_parser().parse_args(
+            ["loadgen", "--port", "9000", "-n", "100", "-c", "8",
+             "--n-tasks", "12", "--unique", "10", "--optimal-frac", "0.2",
+             "--admit-frac", "0.1", "--method", "even",
+             "--include-schedule", "--seed", "7", "--json"]
+        )
+        assert (args.port, args.requests, args.concurrency) == (9000, 100, 8)
+        assert (args.n_tasks, args.unique) == (12, 10)
+        assert (args.optimal_frac, args.admit_frac) == (0.2, 0.1)
+        assert args.method == "even"
+        assert args.include_schedule is True
+        assert args.seed == 7
+        assert args.json is True
+
+    def test_loadgen_rejects_bad_method(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["loadgen", "--method", "magic"])
+
 
 class TestGenerate:
     def test_writes_valid_taskset(self, task_file):
