@@ -4,9 +4,9 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: check lint test bench serve-smoke
+.PHONY: check lint test bench serve-smoke solvers-smoke
 
-check: lint test serve-smoke
+check: lint test solvers-smoke serve-smoke
 
 lint:
 	@if command -v ruff >/dev/null 2>&1; then \
@@ -25,3 +25,8 @@ bench:
 # shut down gracefully
 serve-smoke:
 	$(PYTHON) -m repro.service.smoke
+
+# enumerate the engine registry and run every registered solver once on a
+# shared fixture (feasible, validator-clean, schedule materialized)
+solvers-smoke:
+	$(PYTHON) -m repro.engine.smoke

@@ -4,19 +4,32 @@ Condenses two (or more) schedules for the same task set into one table:
 energy, NEC (when an optimal reference is supplied), busy time, preemptions,
 migrations, switch counts, and deadline status — the summary every example
 and the datacenter/embedded scenarios print.
+
+Accepts raw :class:`~repro.core.schedule.Schedule` objects or normalized
+:class:`~repro.engine.SolveResult` values from the solver registry — the
+latter reuse the engine's post-solve validation verdict instead of
+re-validating, and report the *solver's* analytic energy.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Mapping
+from typing import TYPE_CHECKING, Mapping
 
 from ..core.schedule import Schedule
 from ..power.transitions import TransitionModel, analyze_transitions
 from ..sim.validate import validate_schedule
 from .tables import format_table
 
-__all__ = ["ScheduleSummary", "summarize", "comparison_table"]
+if TYPE_CHECKING:  # pragma: no cover
+    from ..engine import SolveResult
+
+__all__ = [
+    "ScheduleSummary",
+    "summarize",
+    "summarize_result",
+    "comparison_table",
+]
 
 
 @dataclass(frozen=True)
@@ -68,17 +81,53 @@ def summarize(
     )
 
 
+def summarize_result(
+    result: "SolveResult",
+    optimal_energy: float | None = None,
+    label: str | None = None,
+) -> ScheduleSummary:
+    """Summary of a normalized engine :class:`~repro.engine.SolveResult`.
+
+    Trusts the engine's post-solve validation (``result.feasible``) and
+    reports the solver's analytic energy, which for exact solvers is the
+    optimal objective value rather than a segment re-integration.
+    """
+    if result.schedule is None:
+        raise ValueError(
+            f"solver {result.solver!r} produced no schedule to summarize"
+        )
+    transitions = analyze_transitions(result.schedule, TransitionModel())
+    return ScheduleSummary(
+        label=label if label is not None else result.solver,
+        energy=result.energy,
+        nec=(result.energy / optimal_energy) if optimal_energy else None,
+        busy_time=float(result.schedule.busy_time().sum()),
+        preemptions=result.schedule.preemption_count(),
+        migrations=result.schedule.migration_count(),
+        switches=transitions.total_switches,
+        valid=result.feasible,
+    )
+
+
 def comparison_table(
-    schedules: Mapping[str, Schedule],
+    schedules: "Mapping[str, Schedule | SolveResult]",
     optimal_energy: float | None = None,
     title: str | None = None,
     precision: int = 4,
 ) -> str:
-    """Render the comparison of several schedules as a text table."""
+    """Render the comparison of several schedules as a text table.
+
+    Values may be :class:`Schedule` objects or engine
+    :class:`~repro.engine.SolveResult` values, freely mixed.
+    """
     if not schedules:
         raise ValueError("no schedules to compare")
     rows = [
-        summarize(label, sched, optimal_energy).row()
+        (
+            summarize(label, sched, optimal_energy)
+            if isinstance(sched, Schedule)
+            else summarize_result(sched, optimal_energy, label=label)
+        ).row()
         for label, sched in schedules.items()
     ]
     headers = [

@@ -4,12 +4,19 @@ Commands
 --------
 
 ``generate``   draw a random §VI workload and write it to a task file
+``solve``      solve a task file with ANY registered solver (``--list``)
 ``schedule``   schedule a task file (S^F1/S^F2/online), print energy + Gantt
 ``optimal``    solve the exact convex program for a task file
 ``inspect``    validate and summarize a saved schedule JSON
 ``experiment`` run one of the paper's figure/table experiments
 ``serve``      run the asyncio scheduling daemon (:mod:`repro.service`)
 ``loadgen``    drive a running daemon with the async load generator
+
+``solve`` is the registry-backed front door (:mod:`repro.engine`):
+``repro solve tasks.json --solver yds`` reaches the same solver the HTTP
+service and the experiments runner would, with the shared post-solve
+validation hook applied.  ``schedule`` and ``optimal`` remain as
+backward-compatible spellings routed through the same engine.
 
 All task files are the JSON/CSV formats of :mod:`repro.io`; schedules are
 the self-contained JSON of :mod:`repro.io.schedio`.
@@ -53,6 +60,36 @@ def build_parser() -> argparse.ArgumentParser:
         "--xscale", action="store_true", help="use the §VI-C XScale-scaled generator"
     )
 
+    # solve — the uniform registry-backed path
+    sv = sub.add_parser(
+        "solve", help="solve a task file with any registered solver"
+    )
+    sv.add_argument(
+        "tasks", type=Path, nargs="?",
+        help="input .json or .csv task file (omit with --list)",
+    )
+    sv.add_argument(
+        "--solver", default="subinterval-der",
+        help="registry name (see --list), default subinterval-der",
+    )
+    sv.add_argument(
+        "--list", action="store_true", dest="list_solvers",
+        help="list registered solver names and exit",
+    )
+    sv.add_argument("-m", "--cores", type=int, default=4)
+    sv.add_argument("--alpha", type=float, default=3.0)
+    sv.add_argument("--static", type=float, default=0.0, help="static power p0")
+    sv.add_argument("--gamma", type=float, default=1.0, help="power scale γ")
+    sv.add_argument(
+        "--f-max", type=float, default=None,
+        help="hard frequency cap (capped exact solvers)",
+    )
+    sv.add_argument("--gantt", action="store_true", help="print an ASCII Gantt chart")
+    sv.add_argument("-o", "--output", type=Path, help="write schedule JSON here")
+    sv.add_argument(
+        "--svg", type=Path, help="write an SVG Gantt chart to this path"
+    )
+
     # schedule
     s = sub.add_parser("schedule", help="schedule a task file")
     s.add_argument("tasks", type=Path, help="input .json or .csv task file")
@@ -79,7 +116,11 @@ def build_parser() -> argparse.ArgumentParser:
     o.add_argument("--static", type=float, default=0.0)
     o.add_argument(
         "--solver",
-        choices=["interior-point", "projected-gradient", "SLSQP"],
+        choices=[
+            "interior-point", "projected-gradient", "SLSQP", "trust-constr",
+            "optimal:interior-point", "optimal:projected-gradient",
+            "optimal:slsqp", "optimal:trust-constr",
+        ],
         default="interior-point",
     )
 
@@ -221,25 +262,79 @@ def _cmd_generate(args) -> int:
     return 0
 
 
+def _cmd_solve(args) -> int:
+    from .engine import Platform, SolveRequest, solve, solver_names
+    from .io import load_taskset, save_schedule
+    from .power import PolynomialPower
+
+    if args.list_solvers:
+        for name in solver_names():
+            print(name)
+        return 0
+    if args.tasks is None:
+        print("error: a task file is required (or use --list)")
+        return 2
+    tasks = load_taskset(args.tasks)
+    platform = Platform(
+        m=args.cores,
+        power=PolynomialPower(
+            alpha=args.alpha, static=args.static, gamma=args.gamma
+        ),
+        f_max=args.f_max,
+    )
+    result = solve(args.solver, SolveRequest(tasks=tasks, platform=platform))
+    print(f"solver: {result.solver}  kind: {result.kind}")
+    print(
+        f"tasks: {len(tasks)}  cores: {args.cores}  "
+        f"power: p(f)={args.gamma:g}·f^{args.alpha:g}+{args.static:g}"
+    )
+    print(f"energy: {result.energy:.6g}")
+    print(f"solve time: {result.wall_time_s * 1e3:.2f} ms")
+    for key in ("replans", "iterations", "backend", "cores_used"):
+        if key in result.extras:
+            print(f"{key}: {result.extras[key]}")
+    if result.deadline_misses:
+        print(f"deadline misses: {list(result.deadline_misses)}")
+    print(
+        "validation: "
+        + ("OK" if not result.violations else f"{len(result.violations)} violations!")
+    )
+    if result.schedule is not None:
+        if args.gantt:
+            from .analysis import render_gantt
+
+            print(render_gantt(result.schedule))
+        if args.output:
+            save_schedule(result.schedule, args.output)
+            print(f"schedule written to {args.output}")
+        if args.svg:
+            from .analysis import gantt_svg
+
+            args.svg.write_text(
+                gantt_svg(result.schedule, title=f"{result.solver} schedule")
+            )
+            print(f"SVG written to {args.svg}")
+    return 0 if result.feasible else 1
+
+
 def _cmd_schedule(args) -> int:
     from .analysis import render_gantt
-    from .core import OnlineSubintervalScheduler, SubintervalScheduler
+    from .engine import Platform, SolveRequest, solve
     from .io import load_taskset, save_schedule
-    from .sim import validate_schedule
 
     tasks = load_taskset(args.tasks)
-    power = _power(args)
+    request = SolveRequest(
+        tasks=tasks, platform=Platform(m=args.cores, power=_power(args))
+    )
+    result = solve(args.method, request)  # legacy aliases resolve in-registry
+    schedule, energy = result.schedule, result.energy
     if args.method == "online":
-        res = OnlineSubintervalScheduler(tasks, args.cores, power).run()
-        schedule, energy = res.schedule, res.energy
-        print(f"online schedule: {res.replans} re-plans")
+        print(f"online schedule: {result.extras['replans']} re-plans")
     else:
-        result = SubintervalScheduler(tasks, args.cores, power).final(args.method)
-        schedule, energy = result.schedule, result.energy
-        print(f"schedule kind: S^{result.kind}")
+        print(f"schedule kind: {result.kind}")
     print(f"tasks: {len(tasks)}  cores: {args.cores}  power: p(f)=f^{args.alpha:g}+{args.static:g}")
     print(f"energy: {energy:.6g}")
-    issues = validate_schedule(schedule)
+    issues = result.violations
     print(f"validation: {'OK' if not issues else f'{len(issues)} violations!'}")
     if args.gantt:
         print(render_gantt(schedule))
@@ -255,16 +350,22 @@ def _cmd_schedule(args) -> int:
 
 
 def _cmd_optimal(args) -> int:
+    from .engine import Platform, SolveRequest, solve
     from .io import load_taskset
-    from .optimal import solve_optimal
 
     tasks = load_taskset(args.tasks)
-    sol = solve_optimal(tasks, args.cores, _power(args), solver=args.solver)
-    print(f"solver: {sol.solver}  iterations: {sol.iterations}")
-    print(f"optimal energy: {sol.energy:.8g}")
+    request = SolveRequest(
+        tasks=tasks, platform=Platform(m=args.cores, power=_power(args))
+    )
+    result = solve(args.solver, request, validate=False, materialize=False)
+    print(
+        f"solver: {result.extras['backend']}  "
+        f"iterations: {result.extras['iterations']}"
+    )
+    print(f"optimal energy: {result.energy:.8g}")
     with np.printoptions(precision=4, suppress=True):
-        print(f"per-task available times: {sol.available_times}")
-        print(f"per-task frequencies:     {sol.frequencies}")
+        print(f"per-task available times: {result.extras['available_times']}")
+        print(f"per-task frequencies:     {result.extras['frequencies']}")
     return 0
 
 
@@ -389,6 +490,7 @@ def _cmd_report(args) -> int:
 
 _COMMANDS = {
     "generate": _cmd_generate,
+    "solve": _cmd_solve,
     "schedule": _cmd_schedule,
     "optimal": _cmd_optimal,
     "inspect": _cmd_inspect,

@@ -1,0 +1,126 @@
+"""Name-keyed solver registry with the shared post-solve validation hook.
+
+A *solver* is a callable ``fn(request, options) -> SolveResult`` registered
+under a stable name.  :func:`solve` is the single dispatch point every
+frontend uses: it resolves the name (including the legacy ``der``/``even``
+aliases the wire protocol has always accepted), times the solver, and runs
+the produced schedule through the simulator's invariant validator so no
+frontend can receive a silently-broken schedule.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import replace
+from typing import Callable, Mapping
+
+from .contract import SolveRequest, SolveResult
+
+__all__ = [
+    "UnknownSolverError",
+    "register",
+    "get_solver",
+    "resolve_name",
+    "solver_names",
+    "solve",
+]
+
+SolverFn = Callable[[SolveRequest, Mapping], SolveResult]
+
+_REGISTRY: dict[str, SolverFn] = {}
+
+#: Historical wire/CLI spellings mapped onto canonical registry names.
+ALIASES: dict[str, str] = {
+    "der": "subinterval-der",
+    "even": "subinterval-even",
+    "interior-point": "optimal:interior-point",
+    "projected-gradient": "optimal:projected-gradient",
+    "SLSQP": "optimal:slsqp",
+    "trust-constr": "optimal:trust-constr",
+}
+
+
+class UnknownSolverError(ValueError):
+    """Raised when a solver name matches nothing in the registry."""
+
+    def __init__(self, name: str):
+        self.name = name
+        self.known = solver_names()
+        super().__init__(
+            f"unknown solver {name!r}; registered solvers: "
+            f"{', '.join(self.known)}"
+        )
+
+
+def register(name: str) -> Callable[[SolverFn], SolverFn]:
+    """Decorator: register ``fn`` under ``name`` (must be unique)."""
+
+    def deco(fn: SolverFn) -> SolverFn:
+        if name in _REGISTRY:
+            raise ValueError(f"solver {name!r} is already registered")
+        _REGISTRY[name] = fn
+        return fn
+
+    return deco
+
+
+def solver_names() -> tuple[str, ...]:
+    """All registered canonical solver names, sorted."""
+    return tuple(sorted(_REGISTRY))
+
+
+def resolve_name(name: str) -> str:
+    """Canonical registry name for ``name`` (resolving legacy aliases)."""
+    if name in _REGISTRY:
+        return name
+    alias = ALIASES.get(name)
+    if alias is not None and alias in _REGISTRY:
+        return alias
+    raise UnknownSolverError(name)
+
+
+def get_solver(name: str) -> SolverFn:
+    """The registered solver callable for ``name`` (aliases resolved)."""
+    return _REGISTRY[resolve_name(name)]
+
+
+def solve(
+    name: str,
+    request: SolveRequest,
+    *,
+    validate: bool = True,
+    **options,
+) -> SolveResult:
+    """Run one registered solver and normalize its result.
+
+    Keyword ``options`` are merged over ``request.options`` (call-site
+    options win) and handed to the solver.  With ``validate=True`` (the
+    default) the produced schedule is checked against every §III-C
+    invariant; violations land in ``result.violations`` and clear
+    ``result.feasible`` rather than raising, so callers can surface them.
+    Work-completion checking is skipped when the solver itself reported
+    deadline misses (those schedules legitimately complete less work).
+    """
+    canonical = resolve_name(name)
+    fn = _REGISTRY[canonical]
+    merged: dict = dict(request.options)
+    merged.update(options)
+    t0 = time.perf_counter()
+    raw = fn(request, merged)
+    wall = time.perf_counter() - t0
+    result = replace(raw, solver=canonical, wall_time_s=wall)
+    if validate and result.schedule is not None:
+        from ..sim.validate import validate_schedule
+
+        violations = tuple(
+            validate_schedule(
+                result.schedule,
+                check_completion=not result.deadline_misses,
+            )
+        )
+        result = replace(
+            result,
+            violations=violations,
+            feasible=result.feasible and not violations,
+        )
+    return result

@@ -24,9 +24,8 @@ import numpy as np
 
 from ..analysis.metrics import SERIES, NecAggregate, NecSample, aggregate
 from ..analysis.tables import format_csv, format_series_block
-from ..core.scheduler import SubintervalScheduler
 from ..core.task import TaskSet
-from ..optimal import solve_optimal
+from ..engine import Platform, SolveRequest, solve
 from ..power.models import PolynomialPower
 from ..workloads.generator import PaperWorkloadConfig, paper_workload
 
@@ -64,15 +63,25 @@ class PointSpec:
 def evaluate_taskset(
     tasks: TaskSet, m: int, power: PolynomialPower
 ) -> NecSample:
-    """All five NEC series on one concrete task set."""
-    opt = solve_optimal(tasks, m, power)
-    sch = SubintervalScheduler(tasks, m, power)
+    """All five NEC series on one concrete task set.
+
+    Solvers are requested from the engine registry by name; the shared
+    :class:`~repro.engine.SolveRequest` lets the even/DER and
+    intermediate/final variants reuse one timeline + ideal solution, and
+    ``materialize=False`` skips the (unused) optimal schedule.  The
+    numbers are bit-identical to driving the scheduler classes directly —
+    the registry routes to the same code.
+    """
+    req = SolveRequest(tasks=tasks, platform=Platform(m=m, power=power))
+    opt = solve("optimal:interior-point", req, validate=False, materialize=False)
     values = {
-        "Idl": sch.ideal_energy / opt.energy,
-        "I1": sch.intermediate("even").energy / opt.energy,
-        "F1": sch.final("even").energy / opt.energy,
-        "I2": sch.intermediate("der").energy / opt.energy,
-        "F2": sch.final("der").energy / opt.energy,
+        "Idl": req.scheduler().ideal_energy / opt.energy,
+        "I1": solve("subinterval-even", req, validate=False,
+                    stage="intermediate").energy / opt.energy,
+        "F1": solve("subinterval-even", req, validate=False).energy / opt.energy,
+        "I2": solve("subinterval-der", req, validate=False,
+                    stage="intermediate").energy / opt.energy,
+        "F2": solve("subinterval-der", req, validate=False).energy / opt.energy,
     }
     return NecSample(optimal_energy=opt.energy, values=values)
 

@@ -53,30 +53,36 @@ def _build_instance(job: dict):
     return tasks, int(job["m"]), power
 
 
+#: Registry solvers whose solves decompose per column under time-shifted
+#: concatenation — the precondition for the fused super-instance pass.
+_FUSABLE = ("subinterval-even", "subinterval-der")
+
+
 def _solve_one_schedule(job: dict) -> dict:
-    from ..core.online import OnlineSubintervalScheduler
-    from ..core.scheduler import SubintervalScheduler
+    from ..engine import Platform, SolveRequest, solve
     from ..io.schedio import schedule_to_json
 
     tasks, m, power = _build_instance(job)
-    if job["method"] == "online":
-        res = OnlineSubintervalScheduler(tasks, m, power).run()
-        schedule, energy, kind = res.schedule, res.energy, "online"
-        extra = {"replans": res.replans}
-    else:
-        result = SubintervalScheduler(tasks, m, power).final(job["method"])
-        schedule, energy, kind = result.schedule, result.energy, f"S^{result.kind}"
-        extra = {}
+    request = SolveRequest(tasks=tasks, platform=Platform(m=m, power=power))
+    result = solve(job["method"], request, validate=False)
     out = {
-        "kind": kind,
-        "energy": energy,
+        "kind": result.kind,
+        "energy": float(result.energy),
         "n_tasks": len(tasks),
         "m": m,
         "method": job["method"],
-        **extra,
+        "solver": result.solver,
     }
-    if job.get("include_schedule", True):
-        out["schedule"] = json.loads(schedule_to_json(schedule, indent=None))
+    if result.deadline_misses:
+        out["feasible"] = False
+        out["deadline_misses"] = [int(i) for i in result.deadline_misses]
+    for key in ("replans", "iterations", "backend"):
+        if key in result.extras:
+            out[key] = result.extras[key]
+    if job.get("include_schedule", True) and result.schedule is not None:
+        out["schedule"] = json.loads(
+            schedule_to_json(result.schedule, indent=None)
+        )
     return out
 
 
@@ -84,17 +90,23 @@ def _fuse_key(job: dict) -> tuple | None:
     """Signature under which independent jobs can share one solver pass.
 
     Instances fuse only when they agree on the platform (m, power model)
-    and heuristic; ``online`` jobs replay an event simulation and always
-    solve alone.
+    and resolve to the same fusable registry solver; everything else —
+    ``online`` replays, baselines, exact solvers — solves alone.
     """
-    if job["method"] == "online":
+    from ..engine import UnknownSolverError, resolve_name
+
+    try:
+        name = resolve_name(job["method"])
+    except UnknownSolverError:
+        return None  # surfaces as a per-job error from the solo path
+    if name not in _FUSABLE:
         return None
     return (
         int(job["m"]),
         float(job["alpha"]),
         float(job["static"]),
         float(job.get("gamma", 1.0)),
-        job["method"],
+        name,
     )
 
 
@@ -114,11 +126,13 @@ def _solve_fused(jobs: Sequence[dict]) -> list[dict]:
     from ..core.schedule import Schedule, Segment
     from ..core.scheduler import SubintervalScheduler
     from ..core.task import Task, TaskSet
+    from ..engine import resolve_name
     from ..io.schedio import schedule_to_json
     from ..power.models import PolynomialPower
 
     m = int(jobs[0]["m"])
-    method = jobs[0]["method"]
+    solver = resolve_name(jobs[0]["method"])
+    method = {"subinterval-even": "even", "subinterval-der": "der"}[solver]
     power = PolynomialPower(
         alpha=jobs[0]["alpha"],
         static=jobs[0]["static"],
@@ -170,7 +184,8 @@ def _solve_fused(jobs: Sequence[dict]) -> list[dict]:
             "energy": schedule.total_energy(),
             "n_tasks": len(ts),
             "m": m,
-            "method": method,
+            "method": job["method"],
+            "solver": solver,
         }
         if job.get("include_schedule", True):
             res["schedule"] = json.loads(schedule_to_json(schedule, indent=None))
@@ -218,22 +233,30 @@ def _solve_solo(job: dict) -> dict:
 
 
 def solve_optimal_job(job: dict) -> dict:
-    """Solve one exact convex program (``POST /optimal`` payload)."""
+    """Solve one exact convex program (``POST /optimal`` payload).
+
+    ``job["solver"]`` is any registered ``optimal:<backend>`` name (or a
+    legacy bare backend name); dispatch goes through the engine registry.
+    """
     import numpy as np
 
-    from ..optimal import solve_optimal
+    from ..engine import Platform, SolveRequest, solve
 
     tasks, m, power = _build_instance(job)
+    request = SolveRequest(tasks=tasks, platform=Platform(m=m, power=power))
     try:
-        sol = solve_optimal(tasks, m, power, solver=job["solver"])
+        result = solve(
+            job["solver"], request, validate=False, materialize=False
+        )
     except Exception as exc:  # noqa: BLE001 - isolated per job
         return {"error": f"{type(exc).__name__}: {exc}"}
     return {
-        "solver": sol.solver,
-        "iterations": sol.iterations,
-        "energy": float(sol.energy),
-        "available_times": np.asarray(sol.available_times).tolist(),
-        "frequencies": np.asarray(sol.frequencies).tolist(),
+        "solver": result.extras["backend"],
+        "registry_solver": result.solver,
+        "iterations": result.extras["iterations"],
+        "energy": float(result.energy),
+        "available_times": np.asarray(result.extras["available_times"]).tolist(),
+        "frequencies": np.asarray(result.extras["frequencies"]).tolist(),
         "n_tasks": len(tasks),
         "m": m,
     }

@@ -19,6 +19,7 @@ import json
 from dataclasses import dataclass
 
 from ..core.task import Task, TaskSet
+from ..engine import UnknownSolverError, resolve_name, solver_names
 from ..io.taskio import taskset_from_json
 from ..power.models import PolynomialPower
 
@@ -31,10 +32,42 @@ __all__ = [
     "canonical_order",
     "canonicalize_tasks",
     "canonical_plan_key",
+    "schedule_methods",
+    "optimal_solvers",
 ]
 
-SCHEDULE_METHODS = ("der", "even", "online")
-OPTIMAL_SOLVERS = ("interior-point", "projected-gradient", "SLSQP")
+
+def schedule_methods() -> tuple[str, ...]:
+    """Names ``POST /schedule`` accepts: every registered solver."""
+    return solver_names()
+
+
+def optimal_solvers() -> tuple[str, ...]:
+    """Registry names ``POST /optimal`` accepts (exact solvers only)."""
+    return tuple(n for n in solver_names() if n.startswith("optimal:"))
+
+
+def _resolve_solver(name, *, field: str, optimal_only: bool) -> str:
+    """Canonical registry name for a request's solver field, or a 400.
+
+    Unknown names answer with the full menu of registered solvers so API
+    users can self-correct — never a 500 from deep inside a pool worker.
+    """
+    if not isinstance(name, str):
+        raise ProtocolError(f"{field} must be a string, got {name!r}")
+    menu = optimal_solvers() if optimal_only else schedule_methods()
+    try:
+        canonical = resolve_name(name)
+    except UnknownSolverError as exc:
+        raise ProtocolError(
+            f"unknown {field} {name!r}; registered solvers: {', '.join(menu)}"
+        ) from exc
+    if optimal_only and not canonical.startswith("optimal:"):
+        raise ProtocolError(
+            f"{field} {name!r} is not an exact solver; this endpoint accepts: "
+            f"{', '.join(menu)}"
+        )
+    return canonical
 
 
 class ProtocolError(ValueError):
@@ -103,13 +136,20 @@ def _power_from(body: dict, default_alpha: float, default_static: float) -> Poly
 
 @dataclass(frozen=True)
 class ScheduleRequest:
-    """Parsed ``POST /schedule`` body."""
+    """Parsed ``POST /schedule`` body.
+
+    ``method`` keeps the client's spelling (echoed back in responses);
+    ``solver`` is the canonical registry name used for dispatch, fusion,
+    and cache identity — so ``der`` and ``subinterval-der`` share one
+    cache entry.
+    """
 
     tasks: TaskSet
     m: int
     power: PolynomialPower
     method: str
     include_schedule: bool
+    solver: str = "subinterval-der"
 
     @classmethod
     def from_body(
@@ -129,10 +169,7 @@ class ScheduleRequest:
         if m < 1:
             raise ProtocolError(f"m must be >= 1, got {m}")
         method = body.get("method", "der")
-        if method not in SCHEDULE_METHODS:
-            raise ProtocolError(
-                f"method must be one of {SCHEDULE_METHODS}, got {method!r}"
-            )
+        solver = _resolve_solver(method, field="method", optimal_only=False)
         include = body.get("include_schedule", True)
         if not isinstance(include, bool):
             raise ProtocolError("include_schedule must be a boolean")
@@ -142,6 +179,7 @@ class ScheduleRequest:
             power=_power_from(body, default_alpha, default_static),
             method=method,
             include_schedule=include,
+            solver=solver,
         )
 
 
@@ -169,7 +207,12 @@ class AdmitRequest:
 
 @dataclass(frozen=True)
 class OptimalRequest:
-    """Parsed ``POST /optimal`` body."""
+    """Parsed ``POST /optimal`` body.
+
+    ``solver`` keeps the client's spelling (echoed back in responses) but
+    is validated against the registry at parse time, so unknown backends
+    are a 400 with the menu of ``optimal:*`` names — never a worker error.
+    """
 
     tasks: TaskSet
     m: int
@@ -194,10 +237,7 @@ class OptimalRequest:
         if m < 1:
             raise ProtocolError(f"m must be >= 1, got {m}")
         solver = body.get("solver", "interior-point")
-        if solver not in OPTIMAL_SOLVERS:
-            raise ProtocolError(
-                f"solver must be one of {OPTIMAL_SOLVERS}, got {solver!r}"
-            )
+        _resolve_solver(solver, field="solver", optimal_only=True)
         return cls(
             tasks=tasks,
             m=m,

@@ -303,7 +303,9 @@ class SchedulingService:
             default_static=self.config.static,
         )
         tasks = sorted(req.tasks, key=canonical_order)
-        key = canonical_plan_key(tasks, req.m, req.power, req.method)
+        # cache identity uses the canonical registry name, so legacy
+        # aliases ("der") and canonical spellings share one entry
+        key = canonical_plan_key(tasks, req.m, req.power, req.solver)
         if not req.include_schedule:
             key += ":light"
         cached = self.cache.get(key)

@@ -6,7 +6,7 @@ and validates them against the paper's problem constraints
 """
 
 from .engine import Event, EventQueue, SimulationClock
-from .executor import ExecutionReport, execute_schedule
+from .executor import ExecutionReport, execute_result, execute_schedule
 from .power_trace import PowerTrace, power_trace
 from .processor import CoreBusyError, SimCore, SimProcessor
 from .trace import ExecutionTrace, TaskOutcome, TraceRecord
@@ -24,6 +24,7 @@ __all__ = [
     "ExecutionTrace",
     "ExecutionReport",
     "execute_schedule",
+    "execute_result",
     "PowerTrace",
     "power_trace",
     "Violation",

@@ -15,13 +15,17 @@ segments on one core hand over cleanly.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 from ..core.schedule import Schedule
 from .engine import EventQueue, SimulationClock
 from .processor import SimProcessor
 from .trace import ExecutionTrace, TraceRecord
 
-__all__ = ["ExecutionReport", "execute_schedule"]
+if TYPE_CHECKING:  # pragma: no cover
+    from ..engine import SolveResult
+
+__all__ = ["ExecutionReport", "execute_schedule", "execute_result"]
 
 
 @dataclass(frozen=True)
@@ -85,3 +89,17 @@ def execute_schedule(schedule: Schedule) -> ExecutionReport:
         deadline_misses=trace.deadline_misses(),
         per_core_energy=[c.energy for c in proc.cores],
     )
+
+
+def execute_result(result: "SolveResult") -> ExecutionReport:
+    """Replay a normalized engine :class:`~repro.engine.SolveResult`.
+
+    Thin adapter so registry consumers can hand a solver's output straight
+    to the simulator; raises if the solver did not materialize a schedule
+    (e.g. an ``optimal:*`` backend called with ``materialize=False``).
+    """
+    if result.schedule is None:
+        raise ValueError(
+            f"solver {result.solver!r} produced no schedule to execute"
+        )
+    return execute_schedule(result.schedule)

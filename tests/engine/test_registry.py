@@ -1,0 +1,164 @@
+"""The solver registry: one contract, every solver, shared fixtures.
+
+The parametrized test below is the registry's acceptance gate: every
+registered solver — heuristics, baselines, the practical discrete-frequency
+planner, the online re-planner, and each exact backend — runs on the same
+fixtures and must come back feasible, validator-clean, and (for solvers
+sharing the continuous power model) no cheaper than the convex lower bound.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+
+from repro.core import TaskSet
+from repro.engine import (
+    Platform,
+    SolveRequest,
+    SolveResult,
+    UnknownSolverError,
+    get_solver,
+    register,
+    resolve_name,
+    solve,
+    solver_names,
+)
+from repro.optimal import PGConfig
+from repro.power import PolynomialPower
+
+# Contention-light on purpose: never more than ``m`` tasks overlap, so even
+# the coordination-free ``naive`` stretch baseline meets every deadline and
+# the feasibility invariant holds for the full registry.
+FIXTURES = {
+    "trio-m2": (
+        TaskSet.from_tuples([(0.0, 10.0, 4.0), (2.0, 14.0, 5.0), (11.0, 20.0, 6.0)]),
+        2,
+    ),
+    "quartet-m3": (
+        TaskSet.from_tuples(
+            [(0.0, 12.0, 5.0), (1.0, 13.0, 4.0), (3.0, 20.0, 6.0), (14.0, 22.0, 4.0)]
+        ),
+        3,
+    ),
+}
+
+#: ``practical`` plans on a discrete frequency set with mW power numbers, so
+#: its energy is not comparable against the continuous convex lower bound.
+CONTINUOUS_POWER_SOLVERS = tuple(
+    n for n in solver_names() if n != "practical"
+)
+
+
+def _options(name: str) -> dict:
+    if name == "optimal:projected-gradient":
+        # loose-but-correct FISTA tolerances keep the suite fast
+        return {"config": PGConfig(tol=1e-8, patience=5)}
+    return {}
+
+
+def _request(fixture: str) -> SolveRequest:
+    tasks, m = FIXTURES[fixture]
+    return SolveRequest(
+        tasks=tasks,
+        platform=Platform(m=m, power=PolynomialPower(alpha=3.0, static=0.1)),
+    )
+
+
+class TestRegistryLookup:
+    def test_names_are_sorted_and_complete(self):
+        names = solver_names()
+        assert list(names) == sorted(names)
+        for expected in (
+            "subinterval-even",
+            "subinterval-der",
+            "practical",
+            "online",
+            "optimal:interior-point",
+            "optimal:projected-gradient",
+            "edf",
+            "yds",
+            "naive",
+        ):
+            assert expected in names
+
+    def test_legacy_aliases_resolve(self):
+        assert resolve_name("der") == "subinterval-der"
+        assert resolve_name("even") == "subinterval-even"
+        assert resolve_name("interior-point") == "optimal:interior-point"
+        assert get_solver("der") is get_solver("subinterval-der")
+
+    def test_unknown_name_lists_the_menu(self):
+        with pytest.raises(UnknownSolverError) as err:
+            get_solver("warp-drive")
+        for name in solver_names():
+            assert name in str(err.value)
+
+    def test_duplicate_registration_is_an_error(self):
+        with pytest.raises(ValueError, match="already registered"):
+            register("edf")(lambda req, options: None)
+
+
+@pytest.mark.parametrize("fixture", sorted(FIXTURES))
+@pytest.mark.parametrize("name", solver_names())
+class TestEverySolver:
+    """The shared-fixture invariant suite, one cell per (solver, fixture)."""
+
+    def test_contract_and_feasibility(self, name: str, fixture: str):
+        req = _request(fixture)
+        result = solve(name, req, **_options(name))
+
+        assert isinstance(result, SolveResult)
+        assert result.solver == name  # canonical echo
+        assert result.kind
+        assert result.energy > 0.0
+        assert result.wall_time_s >= 0.0
+
+        # every registered solver materializes a schedule by default, and
+        # the post-solve hook must find nothing wrong with it on these
+        # contention-light instances
+        assert result.schedule is not None
+        assert result.violations == ()
+        assert result.deadline_misses == ()
+        assert result.feasible
+
+        # all work placed: the schedule's busy time carries the full demand
+        tasks, _m = FIXTURES[fixture]
+        placed = sum(seg.work for seg in result.schedule)
+        assert placed == pytest.approx(float(tasks.works.sum()), rel=1e-6)
+
+    def test_not_below_the_convex_lower_bound(self, name: str, fixture: str):
+        if name not in CONTINUOUS_POWER_SOLVERS:
+            pytest.skip("discrete-frequency mW power model")
+        req = _request(fixture)
+        opt = solve(
+            "optimal:interior-point", req, validate=False, materialize=False
+        )
+        result = solve(name, req, validate=False, **_options(name))
+        assert result.energy >= opt.energy * (1.0 - 1e-6)
+
+
+class TestSolveResultNormalization:
+    def test_results_are_frozen(self):
+        result = solve("edf", _request("trio-m2"))
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            result.energy = 0.0  # type: ignore[misc]
+
+    def test_call_options_override_request_options(self):
+        req = SolveRequest(
+            tasks=FIXTURES["trio-m2"][0],
+            platform=Platform(m=2),
+            options={"stage": "intermediate"},
+        )
+        inter = solve("subinterval-der", req, validate=False)
+        final = solve("subinterval-der", req, validate=False, stage="final")
+        assert inter.kind == "S^I2"
+        assert final.kind == "S^F2"
+
+    def test_shared_request_reuses_one_scheduler(self):
+        req = _request("trio-m2")
+        solve("subinterval-even", req, validate=False)
+        scheduler = req.scheduler()
+        solve("subinterval-der", req, validate=False)
+        assert req.scheduler() is scheduler
