@@ -4,9 +4,9 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: check lint test bench serve-smoke solvers-smoke
+.PHONY: check lint test bench serve-smoke solvers-smoke chaos-smoke
 
-check: lint test solvers-smoke serve-smoke
+check: lint test solvers-smoke serve-smoke chaos-smoke
 
 lint:
 	@if command -v ruff >/dev/null 2>&1; then \
@@ -30,3 +30,9 @@ serve-smoke:
 # shared fixture (feasible, validator-clean, schedule materialized)
 solvers-smoke:
 	$(PYTHON) -m repro.engine.smoke
+
+# seeded chaos run against a real worker pool: killed workers, delayed and
+# dropped responses, malformed payloads — asserts zero lost acknowledged
+# jobs, bit-identical retries, visible degradation, and a bounded p99
+chaos-smoke:
+	$(PYTHON) -m repro.service.chaos --requests 60 --seed 7

@@ -181,6 +181,29 @@ def build_parser() -> argparse.ArgumentParser:
         "--log-interval", type=float, default=60.0,
         help="seconds between metric log lines (0 disables)",
     )
+    v.add_argument(
+        "--solver-timeout", type=float, default=10.0,
+        help="wall-time bound for exact optimal:* solves (s, 0 disables)",
+    )
+    v.add_argument(
+        "--degrade-to", default="subinterval-der",
+        help="fallback solver for hung/crashed exact solves ('' disables)",
+    )
+    v.add_argument(
+        "--retry-max", type=int, default=1,
+        help="re-dispatches of in-flight work after a worker death",
+    )
+    v.add_argument(
+        "--retry-backoff", type=float, default=0.05,
+        help="base of the jittered exponential retry backoff (s)",
+    )
+    v.add_argument(
+        "--chaos", default="", metavar="SPEC",
+        help=(
+            "enable fault injection, e.g. "
+            "'kill=0.05,delay=0.1:0.02,drop=0.02,seed=7'"
+        ),
+    )
 
     # loadgen
     lg = sub.add_parser("loadgen", help="drive a running daemon with load")
@@ -212,6 +235,14 @@ def build_parser() -> argparse.ArgumentParser:
         help="request full schedule JSON bodies (heavier responses)",
     )
     lg.add_argument("--seed", type=int, default=0)
+    lg.add_argument(
+        "--chaos", default="", metavar="SPEC",
+        help=(
+            "client-side fault injection, e.g. 'malform=0.1,seed=7' "
+            "(replaces that fraction of requests with malformed payloads; "
+            "each must come back 400)"
+        ),
+    )
     lg.add_argument("--json", action="store_true", help="print raw stats JSON")
 
     # report
@@ -263,7 +294,13 @@ def _cmd_generate(args) -> int:
 
 
 def _cmd_solve(args) -> int:
-    from .engine import Platform, SolveRequest, solve, solver_names
+    from .engine import (
+        Platform,
+        SolveRequest,
+        UnknownSolverError,
+        solve,
+        solver_names,
+    )
     from .io import load_taskset, save_schedule
     from .power import PolynomialPower
 
@@ -274,7 +311,11 @@ def _cmd_solve(args) -> int:
     if args.tasks is None:
         print("error: a task file is required (or use --list)")
         return 2
-    tasks = load_taskset(args.tasks)
+    try:
+        tasks = load_taskset(args.tasks)
+    except FileNotFoundError:
+        print(f"error: task file {args.tasks} does not exist")
+        return 2
     platform = Platform(
         m=args.cores,
         power=PolynomialPower(
@@ -282,7 +323,14 @@ def _cmd_solve(args) -> int:
         ),
         f_max=args.f_max,
     )
-    result = solve(args.solver, SolveRequest(tasks=tasks, platform=platform))
+    try:
+        result = solve(args.solver, SolveRequest(tasks=tasks, platform=platform))
+    except UnknownSolverError:
+        print(
+            f"error: unknown solver {args.solver!r} — registered solvers: "
+            f"{', '.join(solver_names())} (see also: repro solve --list)"
+        )
+        return 2
     print(f"solver: {result.solver}  kind: {result.kind}")
     print(
         f"tasks: {len(tasks)}  cores: {args.cores}  "
@@ -419,6 +467,7 @@ def _cmd_experiment(args) -> int:
 
 def _cmd_serve(args) -> int:
     import asyncio
+    import errno
     import logging
 
     from .service import ServiceConfig, run_service
@@ -426,22 +475,40 @@ def _cmd_serve(args) -> int:
     logging.basicConfig(
         level=logging.INFO, format="%(asctime)s %(name)s %(message)s"
     )
-    config = ServiceConfig(
-        host=args.host,
-        port=args.port,
-        workers=args.workers,
-        batch_window=args.batch_window_ms / 1e3,
-        batch_max=args.batch_max,
-        cache_size=args.cache_size,
-        max_inflight=args.max_inflight,
-        request_timeout=args.timeout,
-        m=args.cores,
-        alpha=args.alpha,
-        static=args.static,
-        f_max=args.f_max,
-        log_interval=args.log_interval,
-    )
-    asyncio.run(run_service(config))
+    try:
+        config = ServiceConfig(
+            host=args.host,
+            port=args.port,
+            workers=args.workers,
+            batch_window=args.batch_window_ms / 1e3,
+            batch_max=args.batch_max,
+            cache_size=args.cache_size,
+            max_inflight=args.max_inflight,
+            request_timeout=args.timeout,
+            m=args.cores,
+            alpha=args.alpha,
+            static=args.static,
+            f_max=args.f_max,
+            log_interval=args.log_interval,
+            solver_timeout=args.solver_timeout,
+            degrade_to=args.degrade_to,
+            retry_max=args.retry_max,
+            retry_backoff=args.retry_backoff,
+            faults=args.chaos,
+        )
+    except ValueError as exc:
+        print(f"error: {exc}")
+        return 2
+    try:
+        asyncio.run(run_service(config))
+    except OSError as exc:
+        if exc.errno == errno.EADDRINUSE:
+            print(
+                f"error: {args.host}:{args.port} is already in use — stop "
+                f"the other process or pass --port 0 for an ephemeral port"
+            )
+            return 1
+        raise
     return 0
 
 
@@ -467,10 +534,18 @@ def _cmd_loadgen(args) -> int:
             method=args.method,
             include_schedule=args.include_schedule,
             seed=args.seed,
+            chaos=args.chaos,
         )
     )
     print(_json.dumps(stats) if args.json else format_stats(stats))
-    return 0 if stats["errors"] == 0 and stats["ok"] > 0 else 1
+    ok = stats["errors"] == 0 and stats["ok"] > 0
+    if stats.get("chaos"):
+        # injected malformed payloads must all be rejected with 400
+        ok = ok and (
+            stats["chaos"]["malformed_rejected"]
+            == stats["chaos"]["malformed_sent"]
+        )
+    return 0 if ok else 1
 
 
 def _cmd_report(args) -> int:

@@ -72,6 +72,13 @@ class Timeline:
     task ``i`` overlaps subinterval ``j``.  This is the index set of the
     decision variables ``x_{i,j}`` of the paper's convex reformulation, so the
     optimal solver and the heuristics share one source of truth.
+
+    Construction guarantees ``boundaries`` is strictly increasing — duplicate
+    release/deadline values (tasks sharing a boundary, a deadline equal to
+    another task's release, repeated ``extra_boundaries``) collapse to one
+    boundary — so every subinterval has strictly positive length and no
+    downstream per-length division can produce NaN.  Non-finite extra
+    boundaries are rejected outright.
     """
 
     __slots__ = ("tasks", "boundaries", "_subintervals", "_coverage")
@@ -86,6 +93,14 @@ class Timeline:
         if extra_boundaries is not None:
             extra = np.asarray(list(extra_boundaries), dtype=np.float64)
             if extra.size:
+                # NaN compares False against everything, so a plain range
+                # check would wave NaN through and poison every downstream
+                # subinterval length/frequency — reject non-finite first.
+                if not np.all(np.isfinite(extra)):
+                    raise ValueError(
+                        "extra boundaries must be finite, got "
+                        f"{extra[~np.isfinite(extra)].tolist()}"
+                    )
                 lo, hi = boundaries[0], boundaries[-1]
                 if np.any((extra < lo) | (extra > hi)):
                     raise ValueError(
@@ -93,6 +108,15 @@ class Timeline:
                         f"[{lo:g}, {hi:g}]"
                     )
                 boundaries = np.unique(np.concatenate([boundaries, extra]))
+        if boundaries.size < 2:
+            # every task has D > R, so a single distinct event time means
+            # the inputs collapsed (e.g. all boundaries identical after a
+            # degenerate refinement) — fail loudly, never emit a 0-length
+            # timeline whose divisions turn into NaN frequencies
+            raise ValueError(
+                "timeline needs at least two distinct boundaries, got "
+                f"{boundaries.tolist()}"
+            )
         boundaries.setflags(write=False)
         self.boundaries = boundaries
         starts = self.boundaries[:-1]

@@ -23,6 +23,7 @@ the "how to add a solver" recipe.
 
 from .contract import Platform, SolveRequest, SolveResult
 from .registry import (
+    SolverTimeoutError,
     UnknownSolverError,
     get_solver,
     register,
@@ -38,6 +39,7 @@ __all__ = [
     "Platform",
     "SolveRequest",
     "SolveResult",
+    "SolverTimeoutError",
     "UnknownSolverError",
     "get_solver",
     "register",

@@ -146,6 +146,14 @@ class SolveResult:
     violations:
         Structured invariant violations from the shared validation hook
         (empty when the hook is skipped or the schedule is clean).
+    degraded_from:
+        Canonical name of the solver the caller *asked for* when this
+        result was instead produced by a fallback (the requested solver
+        hung past its deadline or crashed).  ``None`` on the normal path;
+        when set, :attr:`solver` names the fallback that actually ran.
+    degraded_reason:
+        One-line explanation of the degradation (``"timeout after 2s"``,
+        ``"ValueError: …"``); ``None`` unless :attr:`degraded_from` is set.
     extras:
         Solver-specific metadata (``replans``, ``iterations``,
         ``frequencies`` …) that frontends may surface but never require.
@@ -159,10 +167,19 @@ class SolveResult:
     deadline_misses: tuple[int, ...] = ()
     wall_time_s: float = 0.0
     violations: tuple["Violation", ...] = ()
+    degraded_from: str | None = None
+    degraded_reason: str | None = None
     extras: Mapping[str, Any] = field(default_factory=lambda: _EMPTY)
+
+    @property
+    def degraded(self) -> bool:
+        """True when a fallback solver produced this result."""
+        return self.degraded_from is not None
 
     def __repr__(self) -> str:
         flag = "" if self.feasible else ", INFEASIBLE"
+        if self.degraded:
+            flag += f", degraded from {self.degraded_from}"
         return (
             f"SolveResult({self.solver}, {self.kind}, "
             f"E={self.energy:.6g}{flag})"

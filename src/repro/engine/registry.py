@@ -6,10 +6,17 @@ frontend uses: it resolves the name (including the legacy ``der``/``even``
 aliases the wire protocol has always accepted), times the solver, and runs
 the produced schedule through the simulator's invariant validator so no
 frontend can receive a silently-broken schedule.
+
+Dispatch is also where *graceful degradation* lives: ``solve(name, req,
+timeout=…, fallback=…)`` bounds the solver's wall time and, when it hangs
+past the deadline or crashes, re-solves with the fallback heuristic and
+records the degradation on the :class:`SolveResult` (``degraded_from`` /
+``degraded_reason``) instead of propagating a hang or a 500 to the caller.
 """
 
 from __future__ import annotations
 
+import threading
 import time
 from dataclasses import replace
 from typing import Callable, Mapping
@@ -18,6 +25,7 @@ from .contract import SolveRequest, SolveResult
 
 __all__ = [
     "UnknownSolverError",
+    "SolverTimeoutError",
     "register",
     "get_solver",
     "resolve_name",
@@ -38,6 +46,17 @@ ALIASES: dict[str, str] = {
     "SLSQP": "optimal:slsqp",
     "trust-constr": "optimal:trust-constr",
 }
+
+
+class SolverTimeoutError(TimeoutError):
+    """A solver exceeded its deadline and no fallback was available."""
+
+    def __init__(self, name: str, timeout: float):
+        self.name = name
+        self.timeout = timeout
+        super().__init__(
+            f"solver {name!r} exceeded its {timeout:g}s deadline"
+        )
 
 
 class UnknownSolverError(ValueError):
@@ -84,11 +103,60 @@ def get_solver(name: str) -> SolverFn:
     return _REGISTRY[resolve_name(name)]
 
 
+def _run_bounded(fn: SolverFn, request: SolveRequest, options: Mapping, timeout: float):
+    """Run ``fn`` on a daemon thread, abandoning it past ``timeout`` seconds.
+
+    Python cannot forcibly stop a thread, so on timeout the solver thread
+    is *abandoned*: it keeps whatever CPU it is burning but its result is
+    discarded, and being a daemon it never blocks interpreter exit.  Inside
+    a pool worker the supervisor will eventually recycle the whole process.
+    """
+    outcome: dict = {}
+    done = threading.Event()
+
+    def target() -> None:
+        try:
+            outcome["result"] = fn(request, options)
+        except BaseException as exc:  # noqa: BLE001 - re-raised on the caller
+            outcome["error"] = exc
+        finally:
+            done.set()
+
+    thread = threading.Thread(
+        target=target, daemon=True, name="repro-bounded-solve"
+    )
+    thread.start()
+    if not done.wait(timeout):
+        raise TimeoutError
+    if "error" in outcome:
+        raise outcome["error"]
+    return outcome["result"]
+
+
+def _validated(result: SolveResult) -> SolveResult:
+    """Apply the shared §III-C invariant check to a normalized result."""
+    from ..sim.validate import validate_schedule
+
+    violations = tuple(
+        validate_schedule(
+            result.schedule,
+            check_completion=not result.deadline_misses,
+        )
+    )
+    return replace(
+        result,
+        violations=violations,
+        feasible=result.feasible and not violations,
+    )
+
+
 def solve(
     name: str,
     request: SolveRequest,
     *,
     validate: bool = True,
+    timeout: float | None = None,
+    fallback: str | None = None,
     **options,
 ) -> SolveResult:
     """Run one registered solver and normalize its result.
@@ -100,27 +168,58 @@ def solve(
     ``result.feasible`` rather than raising, so callers can surface them.
     Work-completion checking is skipped when the solver itself reported
     deadline misses (those schedules legitimately complete less work).
+
+    ``timeout`` bounds the solver's wall time (seconds; ``None`` leaves it
+    unbounded).  A solver that outlives its deadline — or raises — degrades
+    to ``fallback`` when one is given: the fallback solver runs instead and
+    the result carries ``degraded_from``/``degraded_reason`` so callers can
+    surface the degradation rather than a hang or an opaque error.  With no
+    fallback, a timeout raises :class:`SolverTimeoutError` and solver
+    errors propagate unchanged.  ``fallback`` options are the same merged
+    ``options`` minus solver-specific keys the fallback cannot consume
+    (``materialize``/``config``), and the fallback itself is never bounded
+    (the registered heuristics are polynomial-time).
     """
     canonical = resolve_name(name)
     fn = _REGISTRY[canonical]
     merged: dict = dict(request.options)
     merged.update(options)
+    fallback_canonical = (
+        resolve_name(fallback) if fallback is not None else None
+    )
     t0 = time.perf_counter()
-    raw = fn(request, merged)
-    wall = time.perf_counter() - t0
-    result = replace(raw, solver=canonical, wall_time_s=wall)
-    if validate and result.schedule is not None:
-        from ..sim.validate import validate_schedule
-
-        violations = tuple(
-            validate_schedule(
-                result.schedule,
-                check_completion=not result.deadline_misses,
-            )
-        )
+    degraded_reason: str | None = None
+    try:
+        if timeout is not None:
+            raw = _run_bounded(fn, request, merged, timeout)
+        else:
+            raw = fn(request, merged)
+    except TimeoutError:
+        if fallback_canonical is None or fallback_canonical == canonical:
+            raise SolverTimeoutError(canonical, timeout) from None
+        degraded_reason = f"timeout after {timeout:g}s"
+    except Exception as exc:  # noqa: BLE001 - degraded to the fallback below
+        if fallback_canonical is None or fallback_canonical == canonical:
+            raise
+        degraded_reason = f"{type(exc).__name__}: {exc}"
+    if degraded_reason is not None:
+        fb_options = {
+            k: v
+            for k, v in merged.items()
+            if k not in ("materialize", "config")
+        }
+        raw = _REGISTRY[fallback_canonical](request, fb_options)
+        wall = time.perf_counter() - t0
         result = replace(
-            result,
-            violations=violations,
-            feasible=result.feasible and not violations,
+            raw,
+            solver=fallback_canonical,
+            wall_time_s=wall,
+            degraded_from=canonical,
+            degraded_reason=degraded_reason,
         )
+    else:
+        wall = time.perf_counter() - t0
+        result = replace(raw, solver=canonical, wall_time_s=wall)
+    if validate and result.schedule is not None:
+        result = _validated(result)
     return result

@@ -22,12 +22,20 @@ Architecture
   and a warm hit never enters the process pool.
 * :mod:`~repro.service.metrics` is the observability registry rendered
   at ``/metrics`` and in a periodic log line.
+* :mod:`~repro.service.pool` supervises the solver workers: dead workers
+  are respawned and their in-flight work re-dispatched (at most once,
+  jittered exponential backoff) before jobs are abandoned with an error.
+* :mod:`~repro.service.faults` is the seeded chaos harness — worker
+  kills, response delays/drops, malformed payloads — behind the
+  ``faults=`` config knob / ``repro serve --chaos`` / ``repro loadgen
+  --chaos`` (see ``docs/robustness.md``).
 * :mod:`~repro.service.loadgen` is the async benchmarking client.
 """
 
 from .batcher import MicroBatcher
 from .cache import PlanCache
-from .config import ServiceConfig
+from .config import RetryPolicy, ServiceConfig
+from .faults import FaultInjector, FaultSpec
 from .metrics import Counter, Gauge, Histogram, MetricsRegistry
 from .protocol import (
     AdmitRequest,
@@ -42,6 +50,8 @@ from .server import SchedulingService, run_service
 __all__ = [
     "AdmitRequest",
     "Counter",
+    "FaultInjector",
+    "FaultSpec",
     "Gauge",
     "Histogram",
     "MetricsRegistry",
@@ -49,6 +59,7 @@ __all__ = [
     "OptimalRequest",
     "PlanCache",
     "ProtocolError",
+    "RetryPolicy",
     "ScheduleRequest",
     "SchedulingService",
     "ServiceConfig",

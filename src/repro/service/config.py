@@ -1,8 +1,40 @@
-"""Service configuration: one frozen dataclass shared by server, CLI, tests."""
+"""Service configuration: frozen dataclasses shared by server, CLI, tests."""
 
 from __future__ import annotations
 
+import random
 from dataclasses import dataclass, field, replace
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Jittered exponential backoff for re-dispatching crashed work.
+
+    Attempt ``k`` (1-based retry number) sleeps
+    ``min(cap, base · 2^(k-1)) · U`` where ``U ~ uniform(0.5, 1.0)`` from
+    the caller's seeded RNG — the jitter keeps simultaneous retries from
+    hammering a freshly-respawned pool in lockstep, the seed keeps chaos
+    runs replayable.
+    """
+
+    max_retries: int = 1
+    backoff_base: float = 0.05
+    backoff_cap: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.max_retries < 0:
+            raise ValueError("max_retries must be >= 0")
+        if self.backoff_base < 0:
+            raise ValueError("backoff_base must be >= 0")
+        if self.backoff_cap < self.backoff_base:
+            raise ValueError("backoff_cap must be >= backoff_base")
+
+    def delay(self, attempt: int, rng: random.Random) -> float:
+        """Backoff before retry ``attempt`` (1-based), jittered via ``rng``."""
+        if attempt < 1:
+            raise ValueError("attempt is 1-based")
+        exp = min(self.backoff_cap, self.backoff_base * 2 ** (attempt - 1))
+        return exp * rng.uniform(0.5, 1.0)
 
 
 @dataclass(frozen=True)
@@ -37,6 +69,24 @@ class ServiceConfig:
         configuration (``f_max=None`` disables the cap).
     log_interval:
         Seconds between periodic one-line metric logs (``0`` disables).
+    solver_timeout:
+        Wall-time bound (seconds) for exact ``optimal:*`` solves.  A solve
+        that outlives it degrades to :attr:`degrade_to` instead of hanging
+        the request; ``0`` disables the bound.
+    degrade_to:
+        Registry solver that replaces a hung/crashed exact solve
+        (``""`` disables degradation — timeouts then surface as errors).
+    retry_max:
+        Re-dispatches of in-flight work after a worker death (at most —
+        a retried dispatch that crashes again is abandoned with a per-job
+        error, never retried unboundedly).
+    retry_backoff, retry_backoff_cap:
+        Base and ceiling (seconds) of the jittered exponential backoff
+        slept before each re-dispatch (:class:`RetryPolicy`).
+    faults:
+        Chaos spec string (:meth:`repro.service.faults.FaultSpec.parse`),
+        e.g. ``"kill=0.05,delay=0.1:0.02,drop=0.02,seed=7"``.  Empty
+        disables fault injection (the production default).
     """
 
     host: str = "127.0.0.1"
@@ -52,6 +102,12 @@ class ServiceConfig:
     static: float = 0.0
     f_max: float | None = None
     log_interval: float = field(default=60.0)
+    solver_timeout: float = 10.0
+    degrade_to: str = "subinterval-der"
+    retry_max: int = 1
+    retry_backoff: float = 0.05
+    retry_backoff_cap: float = 1.0
+    faults: str = ""
 
     def __post_init__(self) -> None:
         if self.workers < 0:
@@ -70,6 +126,28 @@ class ServiceConfig:
             raise ValueError("m must be >= 1")
         if self.f_max is not None and self.f_max <= 0:
             raise ValueError("f_max must be positive")
+        if self.solver_timeout < 0:
+            raise ValueError("solver_timeout must be >= 0 (0 disables)")
+        # delegate retry validation (and fail at config time, not dispatch)
+        self.retry_policy()
+        # ditto for the chaos spec string
+        from .faults import FaultSpec
+
+        FaultSpec.parse(self.faults)
+
+    def retry_policy(self) -> RetryPolicy:
+        """The worker-supervision retry policy these knobs describe."""
+        return RetryPolicy(
+            max_retries=self.retry_max,
+            backoff_base=self.retry_backoff,
+            backoff_cap=self.retry_backoff_cap,
+        )
+
+    def fault_spec(self):
+        """Parsed chaos spec (disabled when :attr:`faults` is empty)."""
+        from .faults import FaultSpec
+
+        return FaultSpec.parse(self.faults)
 
     def with_(self, **kwargs) -> "ServiceConfig":
         """A modified copy (convenience for tests)."""

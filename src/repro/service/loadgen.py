@@ -10,6 +10,16 @@ an optional fraction of ``/optimal`` and ``/admit`` traffic mixed in.
 
 Per-request wall latencies feed the same percentile math the server's
 histograms use, so client- and server-side numbers are comparable.
+
+Chaos mode (``chaos="malform=0.1,seed=7"``) injects client-side faults:
+a seeded fraction of ``/schedule`` requests is replaced with a malformed
+payload from :data:`repro.service.faults.MALFORMED_MENU`.  Every one of
+those must come back ``400`` — a ``500`` means the validation layer let
+garbage reach a worker — and they are tallied separately in the stats so
+they don't pollute the latency/status picture of the well-formed traffic.
+Server-side faults (kill/delay/drop) are configured on the *server* via
+``repro serve --chaos``; a dropped response surfaces here as the client's
+transparent single reconnect-retry, so only double-faults count as errors.
 """
 
 from __future__ import annotations
@@ -18,6 +28,7 @@ import asyncio
 import json
 import time
 
+from .faults import FaultInjector, FaultSpec
 from .metrics import percentile
 
 __all__ = ["HttpClient", "request_once", "run_loadgen", "format_stats"]
@@ -150,10 +161,13 @@ async def run_loadgen(
     method: str = "der",
     include_schedule: bool = False,
     seed: int = 0,
+    chaos: str = "",
 ) -> dict:
     """Drive the daemon and return a stats dict (RPS, percentiles, statuses)."""
     if n_requests < 1 or concurrency < 1 or unique < 1:
         raise ValueError("n_requests, concurrency, unique must be >= 1")
+    spec = FaultSpec.parse(chaos)
+    injector = FaultInjector(spec) if spec.malform_rate > 0 else None
     pool = _make_tasksets(unique, n_tasks, seed)
     n_optimal = int(n_requests * optimal_frac)
     n_admit = int(n_requests * admit_frac)
@@ -182,6 +196,7 @@ async def run_loadgen(
 
     latencies: list[float] = []
     statuses: dict[int, int] = {}
+    malformed_statuses: dict[int, int] = {}
     errors = 0
     next_index = 0
 
@@ -198,7 +213,12 @@ async def run_loadgen(
         await client.connect()
         try:
             while (i := _claim()) is not None:
-                if i < n_optimal:
+                malformed = injector is not None and injector.should_malform()
+                if malformed:
+                    data = codec.encode_request(
+                        "POST", "/schedule", injector.malformed_payload()
+                    )
+                elif i < n_optimal:
                     data = optimal_enc[i % unique]
                 elif i < n_optimal + n_admit:
                     tasks = pool[i % unique]
@@ -214,6 +234,11 @@ async def run_loadgen(
                     errors += 1
                     await client.close()
                     continue
+                if malformed:
+                    # tallied apart so garbage requests don't skew the
+                    # latency/status picture of the real workload
+                    malformed_statuses[status] = malformed_statuses.get(status, 0) + 1
+                    continue
                 latencies.append((time.perf_counter() - t0) * 1e3)
                 statuses[status] = statuses.get(status, 0) + 1
         finally:
@@ -224,6 +249,7 @@ async def run_loadgen(
     elapsed = time.perf_counter() - t_start
 
     ok = statuses.get(200, 0)
+    malformed_sent = sum(malformed_statuses.values())
     return {
         "requests": n_requests,
         "concurrency": concurrency,
@@ -233,6 +259,16 @@ async def run_loadgen(
         "shed": statuses.get(429, 0),
         "errors": errors,
         "statuses": {str(k): v for k, v in sorted(statuses.items())},
+        "chaos": {
+            "spec": spec.format(),
+            "malformed_sent": malformed_sent,
+            "malformed_statuses": {
+                str(k): v for k, v in sorted(malformed_statuses.items())
+            },
+            "malformed_rejected": malformed_statuses.get(400, 0),
+        }
+        if injector is not None
+        else None,
         "latency_ms": {
             "mean": round(sum(latencies) / len(latencies), 4) if latencies else None,
             "p50": round(percentile(latencies, 50), 4) if latencies else None,
@@ -254,5 +290,12 @@ def format_stats(stats: dict) -> str:
         lines.append(
             f"latency:  mean {lat['mean']:.2f} ms  p50 {lat['p50']:.2f}  "
             f"p95 {lat['p95']:.2f}  p99 {lat['p99']:.2f}"
+        )
+    if stats.get("chaos"):
+        chaos = stats["chaos"]
+        lines.append(
+            f"chaos:    spec [{chaos['spec']}]  malformed sent "
+            f"{chaos['malformed_sent']}  rejected(400) {chaos['malformed_rejected']}"
+            f"  statuses {chaos['malformed_statuses']}"
         )
     return "\n".join(lines)

@@ -75,9 +75,21 @@ class Gauge:
 class Histogram:
     """Latency distribution: lifetime count/sum/min/max + a recent-sample ring.
 
-    Percentiles are computed over the last ``window`` observations — a
-    sliding view that tracks current behavior rather than the full history,
-    which is the useful quantity for a long-running daemon.
+    Percentiles are computed over the last ``min(count, window)``
+    observations — a sliding view that tracks current behavior rather than
+    the full history, which is the useful quantity for a long-running
+    daemon.
+
+    Ring semantics (pinned by the wraparound regression tests): the ring
+    fills append-only until it holds ``window`` samples; from then on each
+    observation overwrites the *oldest* ring slot, so after wraparound a
+    reported p99 is exactly the p99 of the most recent ``window``
+    observations and nothing older.  This silently changes what the
+    percentile *means* the moment ``count`` exceeds ``window`` — from
+    "lifetime p99" to "windowed p99" — so :meth:`snapshot` reports
+    ``window_len`` (samples currently in the ring) and ``window`` (the
+    configured capacity) alongside the lifetime ``count``/``sum``, letting
+    consumers tell which regime a percentile was computed in.
     """
 
     __slots__ = ("window", "_ring", "_next", "count", "total", "min", "max")
@@ -107,6 +119,11 @@ class Histogram:
     def percentile(self, q: float) -> float:
         return percentile(self._ring, q)
 
+    @property
+    def window_len(self) -> int:
+        """Samples currently in the ring: ``min(count, window)``."""
+        return len(self._ring)
+
     def snapshot(self) -> dict:
         """Summary dict with lifetime stats and p50/p95/p99 of the window."""
         mean = self.total / self.count if self.count else math.nan
@@ -116,6 +133,8 @@ class Histogram:
 
         return {
             "count": self.count,
+            "window": self.window,
+            "window_len": self.window_len,
             "sum": _clean(self.total),
             "mean": _clean(mean),
             "min": _clean(self.min),

@@ -21,19 +21,64 @@ micro-batching earns its throughput on small instances.
 ``dispatch_count`` counts executor submissions.  Cache hits bypass this
 module entirely, and the tests pin that down by asserting the counter
 stays flat across warm requests.
+
+Supervision: a dispatch that dies with a broken executor (worker process
+SIGKILLed, OOM-killed, or a chaos-injected :class:`~repro.service.faults.
+SimulatedWorkerCrash`) respawns the pool and re-dispatches the in-flight
+chunk at most :class:`~repro.service.config.RetryPolicy` ``.max_retries``
+times with jittered exponential backoff.  A chunk that crashes again is
+*abandoned*: each of its jobs resolves to an error dict (the client gets
+a clean 5xx, not a hang), and ``worker_restarts`` / ``job_retries`` /
+``jobs_abandoned`` land in the shared :class:`~repro.service.metrics.
+MetricsRegistry`.
 """
 
 from __future__ import annotations
 
 import asyncio
 import json
+import multiprocessing
+import os
+import random
+import signal
 from bisect import bisect_right
-from concurrent.futures import ProcessPoolExecutor
-from typing import Sequence
+from concurrent.futures import BrokenExecutor, ProcessPoolExecutor
+from typing import Callable, Sequence
 
 from ..experiments.parallel import chunk_size
+from .config import RetryPolicy
+from .faults import FaultInjector, SimulatedWorkerCrash, kill_one_worker
+from .metrics import MetricsRegistry
 
-__all__ = ["SolveDispatcher", "solve_schedule_batch", "solve_optimal_job"]
+__all__ = [
+    "SolveDispatcher",
+    "WorkerCrashError",
+    "solve_schedule_batch",
+    "solve_optimal_job",
+]
+
+
+class WorkerCrashError(RuntimeError):
+    """A dispatch crashed its worker and exhausted the retry budget."""
+
+
+def _pool_context():
+    """Start context for worker pools: ``forkserver`` where available.
+
+    The daemon (re)creates executors from a process full of threads — the
+    event loop, executor management threads, queue feeders.  Plain ``fork``
+    there is unsafe: a child forked while some thread holds an internal
+    lock inherits that lock forever-held and deadlocks silently, which
+    surfaces as a dispatch future that never resolves.  ``forkserver``
+    forks workers from a dedicated single-threaded server process instead,
+    and preloading this module there keeps respawned workers cheap.
+    """
+    try:
+        ctx = multiprocessing.get_context("forkserver")
+    except ValueError:  # pragma: no cover - platforms without forkserver
+        return None
+    ctx.set_forkserver_preload(["repro.service.pool"])
+    return ctx
 
 
 # -- picklable workers (run in pool processes) --------------------------------------
@@ -58,13 +103,25 @@ def _build_instance(job: dict):
 _FUSABLE = ("subinterval-even", "subinterval-der")
 
 
+def _degradation_kwargs(job: dict) -> dict:
+    """``solve()`` timeout/fallback kwargs carried on the job, if any."""
+    kwargs = {}
+    if job.get("timeout_s"):
+        kwargs["timeout"] = float(job["timeout_s"])
+        if job.get("fallback"):
+            kwargs["fallback"] = job["fallback"]
+    return kwargs
+
+
 def _solve_one_schedule(job: dict) -> dict:
     from ..engine import Platform, SolveRequest, solve
     from ..io.schedio import schedule_to_json
 
     tasks, m, power = _build_instance(job)
     request = SolveRequest(tasks=tasks, platform=Platform(m=m, power=power))
-    result = solve(job["method"], request, validate=False)
+    result = solve(
+        job["method"], request, validate=False, **_degradation_kwargs(job)
+    )
     out = {
         "kind": result.kind,
         "energy": float(result.energy),
@@ -73,6 +130,10 @@ def _solve_one_schedule(job: dict) -> dict:
         "method": job["method"],
         "solver": result.solver,
     }
+    if result.degraded:
+        out["degraded"] = True
+        out["degraded_from"] = result.degraded_from
+        out["degraded_reason"] = result.degraded_reason
     if result.deadline_misses:
         out["feasible"] = False
         out["deadline_misses"] = [int(i) for i in result.deadline_misses]
@@ -237,6 +298,9 @@ def solve_optimal_job(job: dict) -> dict:
 
     ``job["solver"]`` is any registered ``optimal:<backend>`` name (or a
     legacy bare backend name); dispatch goes through the engine registry.
+    ``job["timeout_s"]``/``job["fallback"]`` bound the solve: a hung or
+    crashing exact backend degrades to the fallback heuristic and the
+    response records the degradation instead of surfacing an error.
     """
     import numpy as np
 
@@ -246,10 +310,28 @@ def solve_optimal_job(job: dict) -> dict:
     request = SolveRequest(tasks=tasks, platform=Platform(m=m, power=power))
     try:
         result = solve(
-            job["solver"], request, validate=False, materialize=False
+            job["solver"],
+            request,
+            validate=False,
+            materialize=False,
+            **_degradation_kwargs(job),
         )
     except Exception as exc:  # noqa: BLE001 - isolated per job
         return {"error": f"{type(exc).__name__}: {exc}"}
+    if result.degraded:
+        # the fallback heuristic has no convex-backend extras; report the
+        # degraded solve in schedule terms so the caller still gets energy
+        return {
+            "solver": result.solver,
+            "registry_solver": result.solver,
+            "kind": result.kind,
+            "energy": float(result.energy),
+            "n_tasks": len(tasks),
+            "m": m,
+            "degraded": True,
+            "degraded_from": result.degraded_from,
+            "degraded_reason": result.degraded_reason,
+        }
     return {
         "solver": result.extras["backend"],
         "registry_solver": result.solver,
@@ -266,44 +348,154 @@ def solve_optimal_job(job: dict) -> dict:
 
 
 class SolveDispatcher:
-    """Owns the executor and turns job batches into awaitable results."""
+    """Owns the executor, supervises its workers, and awaits job batches.
 
-    def __init__(self, workers: int):
+    Every executor submission runs under the supervision loop of
+    :meth:`_dispatch_supervised`: a dead worker (broken pool or simulated
+    crash) respawns the executor and re-dispatches the chunk at most
+    ``retry.max_retries`` times with jittered exponential backoff; beyond
+    that the chunk's jobs resolve to per-job error dicts so waiters are
+    always answered.  Counters land in ``metrics``:
+
+    * ``worker_restarts`` — times a dead worker (pool) was replaced,
+    * ``job_retries``    — jobs re-dispatched after a crash,
+    * ``jobs_abandoned`` — jobs that crashed again on their retry.
+    """
+
+    def __init__(
+        self,
+        workers: int,
+        *,
+        metrics: MetricsRegistry | None = None,
+        retry: RetryPolicy | None = None,
+        injector: FaultInjector | None = None,
+    ):
         if workers < 0:
             raise ValueError("workers must be >= 0")
         self.workers = workers
+        self._ctx = _pool_context() if workers > 0 else None
         self._pool: ProcessPoolExecutor | None = (
-            ProcessPoolExecutor(max_workers=workers) if workers > 0 else None
+            self._make_pool() if workers > 0 else None
         )
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.retry = retry if retry is not None else RetryPolicy()
+        self.injector = injector
+        self._rng = random.Random(
+            injector.spec.seed if injector is not None else 0
+        )
+        self._closed = False
         self.dispatch_count = 0  # executor submissions (chunks), NOT jobs
         self.batch_count = 0
 
+    # -- supervision ---------------------------------------------------------------
+
+    def _make_pool(self) -> ProcessPoolExecutor:
+        return ProcessPoolExecutor(max_workers=self.workers, mp_context=self._ctx)
+
+    @staticmethod
+    def _reap(broken: ProcessPoolExecutor) -> None:
+        """SIGKILL every remaining worker of a poisoned executor.
+
+        A worker that dies mid-``put`` can take the shared result-queue
+        lock to its grave; surviving siblings then deadlock acquiring it,
+        and the executor's management thread blocks forever joining them —
+        which in turn hangs interpreter shutdown (``_python_exit`` joins
+        management threads).  The pool is already condemned when this runs,
+        so nothing of value is lost by killing the rest of its workers
+        outright, which unblocks the join and lets the management thread
+        finish tearing the executor down.
+        """
+        try:
+            procs = list((getattr(broken, "_processes", None) or {}).values())
+        except RuntimeError:  # racing the management thread's own cleanup
+            procs = []
+        for proc in procs:
+            try:
+                if proc.is_alive():
+                    os.kill(proc.pid, signal.SIGKILL)
+            except (ProcessLookupError, PermissionError, ValueError):
+                continue
+
+    def _respawn(self, broken: ProcessPoolExecutor | None) -> None:
+        """Replace a dead worker; idempotent across concurrent failures.
+
+        With a real pool, only the first chunk to observe the breakage
+        recreates the executor (later observers see ``self._pool`` already
+        moved on and only retry).  In thread mode (``workers == 0``) there
+        is no pool to rebuild — the "respawn" is purely accounting for the
+        simulated crash.
+        """
+        if broken is None:
+            self.metrics.counter("worker_restarts").inc()
+            return
+        if self._pool is broken and not self._closed:
+            self.metrics.counter("worker_restarts").inc()
+            self._reap(broken)
+            broken.shutdown(wait=False, cancel_futures=True)
+            self._pool = self._make_pool()
+
+    async def _dispatch_supervised(
+        self, fn: Callable, payload, n_jobs: int
+    ):
+        """Run one executor submission under the crash/retry supervisor."""
+        loop = asyncio.get_running_loop()
+        attempt = 0
+        while True:
+            pool = self._pool
+            try:
+                if self.injector is not None and self.injector.should_kill(
+                    attempt
+                ):
+                    if pool is None or not kill_one_worker(pool):
+                        raise SimulatedWorkerCrash(
+                            "chaos: worker killed mid-solve"
+                        )
+                self.dispatch_count += 1
+                return await loop.run_in_executor(pool, fn, payload)
+            except (BrokenExecutor, SimulatedWorkerCrash) as exc:
+                self._respawn(pool)
+                if attempt >= self.retry.max_retries:
+                    self.metrics.counter("jobs_abandoned").inc(n_jobs)
+                    raise WorkerCrashError(
+                        f"dispatch abandoned after {attempt + 1} worker "
+                        f"crash(es): {type(exc).__name__}: {exc}"
+                    ) from exc
+                attempt += 1
+                self.metrics.counter("job_retries").inc(n_jobs)
+                await asyncio.sleep(self.retry.delay(attempt, self._rng))
+
+    async def _chunk_or_errors(self, chunk: list[dict]) -> list[dict]:
+        """One schedule chunk; abandonment yields per-job error dicts."""
+        try:
+            return await self._dispatch_supervised(
+                solve_schedule_batch, chunk, len(chunk)
+            )
+        except WorkerCrashError as exc:
+            return [{"error": str(exc), "abandoned": True} for _ in chunk]
+
+    # -- public API ----------------------------------------------------------------
+
     async def solve_batch(self, jobs: Sequence[dict]) -> list[dict]:
         """One micro-batch → chunked executor submissions → ordered results."""
-        loop = asyncio.get_running_loop()
         self.batch_count += 1
         jobs = list(jobs)
         if self._pool is None:
-            self.dispatch_count += 1
-            return await loop.run_in_executor(None, solve_schedule_batch, jobs)
+            return await self._chunk_or_errors(jobs)
         chunk = chunk_size(len(jobs), self.workers, chunks_per_worker=1)
         chunks = [jobs[i : i + chunk] for i in range(0, len(jobs), chunk)]
-        self.dispatch_count += len(chunks)
         parts = await asyncio.gather(
-            *(
-                loop.run_in_executor(self._pool, solve_schedule_batch, c)
-                for c in chunks
-            )
+            *(self._chunk_or_errors(c) for c in chunks)
         )
         return [result for part in parts for result in part]
 
     async def solve_optimal(self, job: dict) -> dict:
-        loop = asyncio.get_running_loop()
-        self.dispatch_count += 1
-        executor = self._pool  # None → default thread executor
-        return await loop.run_in_executor(executor, solve_optimal_job, job)
+        try:
+            return await self._dispatch_supervised(solve_optimal_job, job, 1)
+        except WorkerCrashError as exc:
+            return {"error": str(exc), "abandoned": True}
 
     def shutdown(self) -> None:
+        self._closed = True
         if self._pool is not None:
             self._pool.shutdown(wait=True, cancel_futures=False)
             self._pool = None

@@ -212,12 +212,15 @@ class OptimalRequest:
     ``solver`` keeps the client's spelling (echoed back in responses) but
     is validated against the registry at parse time, so unknown backends
     are a 400 with the menu of ``optimal:*`` names — never a worker error.
+    ``canonical_solver`` is the resolved registry name the server uses for
+    dispatch decisions (e.g. arming the exact-solver timeout).
     """
 
     tasks: TaskSet
     m: int
     power: PolynomialPower
     solver: str
+    canonical_solver: str = "optimal:interior-point"
 
     @classmethod
     def from_body(
@@ -237,12 +240,13 @@ class OptimalRequest:
         if m < 1:
             raise ProtocolError(f"m must be >= 1, got {m}")
         solver = body.get("solver", "interior-point")
-        _resolve_solver(solver, field="solver", optimal_only=True)
+        canonical = _resolve_solver(solver, field="solver", optimal_only=True)
         return cls(
             tasks=tasks,
             m=m,
             power=_power_from(body, default_alpha, default_static),
             solver=solver,
+            canonical_solver=canonical,
         )
 
 

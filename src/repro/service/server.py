@@ -33,6 +33,7 @@ import time
 from .batcher import MicroBatcher
 from .cache import PlanCache
 from .config import ServiceConfig
+from .faults import FaultInjector
 from .metrics import MetricsRegistry
 from .pool import SolveDispatcher
 from .protocol import (
@@ -73,7 +74,16 @@ class SchedulingService:
         self.config = config or ServiceConfig()
         self.metrics = MetricsRegistry()
         self.cache = PlanCache(self.config.cache_size)
-        self.dispatcher = SolveDispatcher(self.config.workers)
+        spec = self.config.fault_spec()
+        self.injector: FaultInjector | None = (
+            FaultInjector(spec) if spec.enabled else None
+        )
+        self.dispatcher = SolveDispatcher(
+            self.config.workers,
+            metrics=self.metrics,
+            retry=self.config.retry_policy(),
+            injector=self.injector,
+        )
         self.batcher = MicroBatcher(
             self.dispatcher.solve_batch,
             window=self.config.batch_window,
@@ -130,6 +140,11 @@ class SchedulingService:
             self.config.batch_max,
             self.config.cache_size,
         )
+        if self.injector is not None:
+            log.warning(
+                "CHAOS MODE: fault injection active (%s)",
+                self.injector.spec.format(),
+            )
 
     async def stop(self) -> None:
         """Graceful shutdown: drain accepted requests, then tear down."""
@@ -172,6 +187,14 @@ class SchedulingService:
                     status, payload, keep_alive = 503, {"error": "shutting down"}, False
                 else:
                     status, payload = await self._serve(method, path, body)
+                if self.injector is not None:
+                    # chaos: hold the response, or sever the connection in
+                    # place of writing it (the client sees a reset and may
+                    # retry — the request itself was fully processed)
+                    await self.injector.maybe_delay()
+                    if self.injector.should_drop():
+                        self.metrics.counter("faults_dropped_responses").inc()
+                        break
                 await self._write_response(writer, status, payload, keep_alive)
                 if not keep_alive:
                     break
@@ -308,8 +331,8 @@ class SchedulingService:
         key = canonical_plan_key(tasks, req.m, req.power, req.solver)
         if not req.include_schedule:
             key += ":light"
-        cached = self.cache.get(key)
-        if cached is not None:
+        cached = self.cache.get(key, PlanCache.MISS)
+        if cached is not PlanCache.MISS:
             self.metrics.counter("cache_hits").inc()
             return 200, {**cached, "cache_hit": True}
         self.metrics.counter("cache_misses").inc()
@@ -322,9 +345,13 @@ class SchedulingService:
             "method": req.method,
             "include_schedule": req.include_schedule,
         }
+        self._arm_degradation(job, req.solver)
         result = await self.batcher.submit(job)
         if "error" in result:
-            return 500, {"error": result["error"]}
+            return self._error_status(result), {"error": result["error"]}
+        if result.get("degraded"):
+            self.metrics.counter("degraded_total").inc()
+            return 200, {**result, "cache_hit": False}  # never cache degraded
         self.cache.put(key, result)
         return 200, {**result, "cache_hit": False}
 
@@ -355,6 +382,26 @@ class SchedulingService:
             "f_max": self.config.f_max,
         }
 
+    def _arm_degradation(self, job: dict, canonical_solver: str) -> None:
+        """Attach timeout/fallback to jobs running an exact backend.
+
+        Only ``optimal:*`` solves are bounded — the registered heuristics
+        are polynomial-time and cheap, and bounding them would cost one
+        watchdog thread per solve for nothing.
+        """
+        if (
+            self.config.solver_timeout > 0
+            and canonical_solver.startswith("optimal:")
+        ):
+            job["timeout_s"] = self.config.solver_timeout
+            if self.config.degrade_to:
+                job["fallback"] = self.config.degrade_to
+
+    @staticmethod
+    def _error_status(result: dict) -> int:
+        """HTTP status for a worker error dict (abandoned ⇒ retryable 503)."""
+        return 503 if result.get("abandoned") else 500
+
     async def _handle_optimal(self, body: dict):
         req = OptimalRequest.from_body(
             body,
@@ -371,9 +418,12 @@ class SchedulingService:
             "gamma": req.power.gamma,
             "solver": req.solver,
         }
+        self._arm_degradation(job, req.canonical_solver)
         result = await self.dispatcher.solve_optimal(job)
         if "error" in result:
-            return 500, {"error": result["error"]}
+            return self._error_status(result), {"error": result["error"]}
+        if result.get("degraded"):
+            self.metrics.counter("degraded_total").inc()
         return 200, result
 
     async def _handle_metrics(self, _body: dict):
@@ -393,7 +443,15 @@ class SchedulingService:
                 "workers": self.dispatcher.workers,
                 "dispatches": self.dispatcher.dispatch_count,
                 "batches": self.dispatcher.batch_count,
+                "worker_restarts": self.metrics.counter("worker_restarts").value,
+                "job_retries": self.metrics.counter("job_retries").value,
+                "jobs_abandoned": self.metrics.counter("jobs_abandoned").value,
             },
+            "faults": (
+                {"spec": self.injector.spec.format(), **self.injector.counts}
+                if self.injector is not None
+                else None
+            ),
         }
 
     async def _handle_healthz(self, _body: dict):

@@ -152,6 +152,63 @@ class TestExtraBoundaries:
         assert len(tl) == 4
 
 
+class TestDegenerateInputs:
+    def test_nan_extra_boundary_rejected(self):
+        # NaN compares False against every bound, so a naive range check
+        # would wave it through and poison every downstream length
+        ts = TaskSet.from_tuples([(0, 4, 1)])
+        with pytest.raises(ValueError, match="finite"):
+            Timeline(ts, extra_boundaries=[float("nan")])
+        with pytest.raises(ValueError, match="finite"):
+            Timeline(ts, extra_boundaries=[2.0, float("nan"), 3.0])
+
+    def test_infinite_extra_boundary_rejected(self):
+        ts = TaskSet.from_tuples([(0, 4, 1)])
+        for bad in (float("inf"), float("-inf")):
+            with pytest.raises(ValueError, match="finite"):
+                Timeline(ts, extra_boundaries=[bad])
+
+    def test_collapsed_boundaries_fail_loudly(self):
+        """The `size < 2` guard: unreachable through a valid TaskSet (every
+        task has D > R), pinned here with a stub so a future refactor that
+        collapses boundaries cannot silently emit a zero-length timeline."""
+
+        class _Collapsed:
+            releases = np.array([1.0])
+            deadlines = np.array([1.0])
+
+            @staticmethod
+            def event_times():
+                return np.array([1.0])
+
+        with pytest.raises(ValueError, match="two distinct boundaries"):
+            Timeline(_Collapsed())
+
+    def test_shared_boundaries_collapse_to_positive_lengths(self):
+        # deadline == another task's release, plus exact duplicate windows
+        ts = TaskSet.from_tuples(
+            [(0, 2, 1), (2, 4, 1), (0, 2, 1), (2, 4, 2), (0, 4, 1)]
+        )
+        tl = Timeline(ts)
+        np.testing.assert_array_equal(tl.boundaries, [0.0, 2.0, 4.0])
+        assert np.all(tl.lengths > 0)
+        assert tl.feasible_max_load(1)
+
+    def test_identical_windows_give_one_subinterval(self):
+        ts = TaskSet.from_tuples([(1, 3, 1), (1, 3, 2), (1, 3, 0.5)])
+        tl = Timeline(ts)
+        assert len(tl) == 1
+        assert tl[0].task_ids == (0, 1, 2)
+
+    def test_denormal_width_windows_stay_strictly_increasing(self):
+        # adjacent boundaries 1 ulp apart must survive as distinct
+        tiny = np.nextafter(1.0, 2.0)
+        ts = TaskSet.from_tuples([(1.0, tiny, 1), (0.0, 1.0, 1)])
+        tl = Timeline(ts)
+        assert np.all(np.diff(tl.boundaries) > 0)
+        assert np.all(tl.lengths > 0)
+
+
 class TestHeavyMask:
     def test_matches_heavy_list(self, six_tasks):
         tl = Timeline(six_tasks)

@@ -1,0 +1,128 @@
+"""Solver timeouts and graceful degradation at the registry dispatch point."""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.core import TaskSet
+from repro.engine import (
+    Platform,
+    SolveRequest,
+    SolverTimeoutError,
+    register,
+    solve,
+)
+from repro.engine.registry import _REGISTRY
+from repro.power import PolynomialPower
+
+_TASKS = TaskSet.from_tuples(
+    [(0.0, 10.0, 4.0), (2.0, 14.0, 5.0), (11.0, 20.0, 6.0)]
+)
+
+
+def _request() -> SolveRequest:
+    return SolveRequest(
+        tasks=_TASKS,
+        platform=Platform(m=2, power=PolynomialPower(alpha=3.0, static=0.1)),
+    )
+
+
+@pytest.fixture
+def hanging_solver():
+    """A temporarily-registered solver that sleeps past any test timeout."""
+    name = "optimal:test-hang"
+
+    @register(name)
+    def _hang(request, options):
+        time.sleep(30.0)
+        raise AssertionError("unreachable")
+
+    yield name
+    _REGISTRY.pop(name, None)
+
+
+@pytest.fixture
+def crashing_solver():
+    name = "optimal:test-crash"
+
+    @register(name)
+    def _crash(request, options):
+        raise RuntimeError("backend exploded")
+
+    yield name
+    _REGISTRY.pop(name, None)
+
+
+class TestTimeout:
+    def test_timeout_without_fallback_raises(self, hanging_solver):
+        t0 = time.perf_counter()
+        with pytest.raises(SolverTimeoutError) as err:
+            solve(hanging_solver, _request(), timeout=0.1)
+        assert time.perf_counter() - t0 < 5.0  # did not wait out the hang
+        assert err.value.name == hanging_solver
+        assert err.value.timeout == 0.1
+        assert "deadline" in str(err.value)
+
+    def test_solver_timeout_error_is_a_timeout_error(self):
+        assert issubclass(SolverTimeoutError, TimeoutError)
+
+    def test_fast_solver_is_unaffected_by_a_generous_timeout(self):
+        bounded = solve("subinterval-der", _request(), timeout=30.0)
+        free = solve("subinterval-der", _request())
+        assert bounded.energy == free.energy
+        assert not bounded.degraded
+        assert bounded.degraded_from is None
+
+
+class TestDegradation:
+    def test_hung_solver_degrades_to_fallback(self, hanging_solver):
+        result = solve(
+            hanging_solver, _request(), timeout=0.1, fallback="subinterval-der"
+        )
+        assert result.solver == "subinterval-der"
+        assert result.degraded
+        assert result.degraded_from == hanging_solver
+        assert "timeout" in result.degraded_reason
+        assert "degraded" in repr(result)
+        # the fallback result is the real heuristic solve
+        direct = solve("subinterval-der", _request())
+        assert result.energy == direct.energy
+
+    def test_crashing_solver_degrades_with_the_exception_reason(
+        self, crashing_solver
+    ):
+        result = solve(
+            crashing_solver, _request(), timeout=5.0, fallback="der"
+        )
+        assert result.solver == "subinterval-der"  # alias resolved
+        assert result.degraded_from == crashing_solver
+        assert "RuntimeError" in result.degraded_reason
+        assert "backend exploded" in result.degraded_reason
+
+    def test_crash_without_fallback_propagates(self, crashing_solver):
+        with pytest.raises(RuntimeError, match="backend exploded"):
+            solve(crashing_solver, _request(), timeout=5.0)
+
+    def test_fallback_equal_to_canonical_does_not_mask_the_timeout(
+        self, hanging_solver
+    ):
+        with pytest.raises(SolverTimeoutError):
+            solve(
+                hanging_solver, _request(), timeout=0.1, fallback=hanging_solver
+            )
+
+    def test_degraded_schedule_is_validated(self, hanging_solver):
+        result = solve(
+            hanging_solver, _request(), timeout=0.1, fallback="subinterval-der"
+        )
+        assert result.schedule is not None
+        assert result.violations == ()
+        assert result.feasible
+
+    def test_undegraded_results_report_degraded_false(self):
+        result = solve("subinterval-der", _request())
+        assert not result.degraded
+        assert result.degraded_reason is None
+        assert "degraded" not in repr(result)

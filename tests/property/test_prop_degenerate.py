@@ -1,0 +1,93 @@
+"""Property tests: degenerate-but-valid instances through every solver.
+
+The shared strategies keep boundaries well separated; this module does the
+opposite on purpose.  Tasks are drawn from a tiny grid so release times,
+deadlines, and whole windows collide constantly — duplicate tasks, shared
+boundaries, a deadline equal to another task's release — and every
+registered solver must still return finite energy and a validator-clean
+schedule (violations are only acceptable alongside reported deadline
+misses).
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import Task, TaskSet, Timeline
+from repro.engine import Platform, SolveRequest, solve, solver_names
+from repro.optimal import PGConfig
+from repro.power import PolynomialPower
+
+# Deliberately tiny grids: with three possible releases and two window
+# lengths, any 3+ task draw is all but guaranteed to share boundaries.
+_release = st.sampled_from([0.0, 1.0, 2.0])
+_window = st.sampled_from([1.0, 2.0])
+_work = st.sampled_from([0.5, 1.0, 2.0])
+
+
+@st.composite
+def degenerate_tasks(draw, min_size: int = 1, max_size: int = 4) -> TaskSet:
+    n = draw(st.integers(min_value=min_size, max_value=max_size))
+    rows = [
+        Task(r, r + w, c)
+        for r, w, c in (
+            (draw(_release), draw(_window), draw(_work)) for _ in range(n)
+        )
+    ]
+    if draw(st.booleans()):
+        rows.append(rows[0])  # an exact duplicate task is legal input
+    return TaskSet(rows)
+
+
+def _options(name: str) -> dict:
+    if name == "optimal:projected-gradient":
+        return {"config": PGConfig(tol=1e-8, patience=5)}
+    return {}
+
+
+@given(degenerate_tasks())
+@settings(max_examples=60, deadline=None)
+def test_timeline_survives_colliding_boundaries(tasks):
+    tl = Timeline(tasks)
+    assert np.all(np.diff(tl.boundaries) > 0)  # duplicates collapsed
+    assert np.all(tl.lengths > 0)
+    assert np.all(np.isfinite(tl.boundaries))
+    # every task still covers at least one subinterval
+    assert np.all(tl.coverage.sum(axis=1) >= 1)
+
+
+@given(degenerate_tasks(), st.sampled_from([1, 2, 4]))
+@settings(max_examples=15, deadline=None)
+def test_every_solver_handles_degenerate_instances(tasks, m):
+    request = SolveRequest(
+        tasks=tasks,
+        platform=Platform(m=m, power=PolynomialPower(alpha=3.0, static=0.1)),
+    )
+    for name in solver_names():
+        result = solve(name, request, **_options(name))
+        assert math.isfinite(result.energy), (name, result.energy)
+        assert result.energy >= 0.0, name
+        if not result.deadline_misses:
+            # without misses there is no excuse for invariant violations
+            assert result.violations == (), (name, result.violations)
+        if result.schedule is not None:
+            freqs = [seg.frequency for seg in result.schedule]
+            assert all(math.isfinite(f) and f > 0 for f in freqs), name
+
+
+@given(degenerate_tasks(min_size=2, max_size=4))
+@settings(max_examples=20, deadline=None)
+def test_identical_instances_solve_identically(tasks):
+    """Determinism under degeneracy: same input, bit-identical output."""
+    request = SolveRequest(
+        tasks=tasks,
+        platform=Platform(m=2, power=PolynomialPower(alpha=3.0, static=0.1)),
+    )
+    a = solve("subinterval-der", request)
+    b = solve("subinterval-der", request)
+    assert a.energy == b.energy
+    assert a.violations == b.violations

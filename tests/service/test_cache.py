@@ -69,6 +69,66 @@ class TestLru:
         assert stats["hit_rate"] == 0.5
 
 
+class TestMissSentinel:
+    def test_cached_none_is_distinguishable_from_a_miss(self):
+        cache = PlanCache(4)
+        cache.put("none", None)
+        cache.put("zero", 0)
+        cache.put("empty", {})
+        assert cache.get("none", PlanCache.MISS) is None
+        assert cache.get("zero", PlanCache.MISS) == 0
+        assert cache.get("empty", PlanCache.MISS) == {}
+        assert cache.get("absent", PlanCache.MISS) is PlanCache.MISS
+        assert (cache.hits, cache.misses) == (3, 1)
+
+    def test_default_default_stays_none_for_legacy_callers(self):
+        cache = PlanCache(4)
+        assert cache.get("absent") is None
+
+    def test_sentinel_is_not_a_storable_collision(self):
+        # MISS is identity-compared: no real payload can ever equal it
+        assert PlanCache.MISS is PlanCache.MISS
+        assert PlanCache.MISS != object()
+
+
+class TestNonPerturbingProbes:
+    def test_contains_and_peek_do_not_count(self):
+        cache = PlanCache(4)
+        cache.put("a", 1)
+        assert "a" in cache
+        assert "zzz" not in cache
+        assert cache.peek("a") == 1
+        assert cache.peek("zzz", PlanCache.MISS) is PlanCache.MISS
+        assert (cache.hits, cache.misses) == (0, 0)
+
+    def test_contains_and_peek_do_not_refresh_lru(self):
+        cache = PlanCache(2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        # probing "a" must NOT rescue it: it stays the eviction victim
+        assert "a" in cache
+        assert cache.peek("a") == 1
+        cache.put("c", 3)
+        assert "a" not in cache
+        assert "b" in cache and "c" in cache
+
+    def test_missed_get_does_not_perturb_eviction_order(self):
+        cache = PlanCache(2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        cache.get("zzz")  # miss: counted, but LRU order untouched
+        cache.put("c", 3)
+        assert "a" not in cache and "b" in cache
+
+    def test_hits_plus_misses_equals_get_calls(self):
+        cache = PlanCache(2)
+        cache.put("a", 1)
+        for key in ("a", "b", "a", "c", "a", "a"):
+            cache.get(key)
+        assert cache.hits + cache.misses == 6
+        assert cache.evictions == 0  # misses never insert
+
+
 class TestCanonicalKey:
     def test_permuted_task_order_hits_same_entry(self):
         k1 = canonical_plan_key(_tasks("abc"), 4, _POWER, "der")

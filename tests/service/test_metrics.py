@@ -72,6 +72,53 @@ class TestHistogram:
         assert snap["p50"] is None
         assert snap["min"] is None
 
+    def test_window_len_tracks_fill_then_saturates(self):
+        h = Histogram(window=4)
+        assert h.window_len == 0
+        for i in range(1, 4):
+            h.observe(float(i))
+            assert h.window_len == i
+        for v in range(100):
+            h.observe(float(v))
+        assert h.window_len == 4
+
+    def test_wraparound_regression_exact_boundary(self):
+        """Ring wraparound: percentiles cover exactly the last `window`.
+
+        Regression for the off-by-one family of ring bugs: observe
+        2×window samples so the write index wraps exactly back to slot 0,
+        then one more so it sits mid-ring, and pin the percentile set to
+        the true suffix at each step.
+        """
+        h = Histogram(window=4)
+        for v in range(8):  # write index wraps to exactly 0
+            h.observe(float(v))
+        assert h.window_len == 4
+        assert h.count == 8
+        assert h.percentile(0) == 4.0
+        assert h.percentile(50) == pytest.approx(5.5)
+        assert h.percentile(100) == 7.0
+
+        h.observe(100.0)  # index now mid-ring; window is 5,6,7,100
+        assert h.percentile(0) == 5.0
+        assert h.percentile(100) == 100.0
+        assert h.count == 9
+        # lifetime extrema still span everything ever observed
+        assert h.min == 0.0
+        assert h.max == 100.0
+
+    def test_snapshot_reports_window_and_window_len(self):
+        h = Histogram(window=4)
+        for v in range(6):
+            h.observe(float(v))
+        snap = h.snapshot()
+        assert snap["window"] == 4
+        assert snap["window_len"] == 4
+        assert snap["count"] == 6
+        # percentile fields come from the ring, lifetime fields from totals
+        assert snap["p50"] == pytest.approx(3.5)
+        assert snap["min"] == 0.0
+
 
 class TestRegistry:
     def test_lazy_instruments_are_stable(self):

@@ -107,6 +107,32 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["loadgen", "--method", "magic"])
 
+    def test_serve_robustness_flags_round_trip(self):
+        args = build_parser().parse_args(
+            ["serve", "--solver-timeout", "2.5", "--degrade-to", "even",
+             "--retry-max", "3", "--retry-backoff", "0.2",
+             "--chaos", "kill=0.1,seed=7"]
+        )
+        assert args.solver_timeout == 2.5
+        assert args.degrade_to == "even"
+        assert args.retry_max == 3
+        assert args.retry_backoff == 0.2
+        assert args.chaos == "kill=0.1,seed=7"
+
+    def test_serve_robustness_defaults(self):
+        args = build_parser().parse_args(["serve"])
+        assert args.solver_timeout == 10.0
+        assert args.degrade_to == "subinterval-der"
+        assert args.retry_max == 1
+        assert args.chaos == ""
+
+    def test_loadgen_chaos_flag(self):
+        args = build_parser().parse_args(
+            ["loadgen", "--chaos", "malform=0.2,seed=3"]
+        )
+        assert args.chaos == "malform=0.2,seed=3"
+        assert build_parser().parse_args(["loadgen"]).chaos == ""
+
 
 class TestGenerate:
     def test_writes_valid_taskset(self, task_file):
@@ -189,6 +215,49 @@ class TestOptimal:
             ).split()[2]
         )
         assert e_opt <= e_sched * (1 + 1e-6)
+
+
+class TestSolveErrorPaths:
+    def test_unknown_solver_exits_2_with_menu(self, task_file, capsys):
+        assert main(["solve", str(task_file), "--solver", "magic"]) == 2
+        out, err = capsys.readouterr()
+        assert "unknown solver 'magic'" in out
+        assert "subinterval-der" in out  # the menu names real solvers
+        assert "repro solve --list" in out
+        assert "Traceback" not in out + err
+
+    def test_missing_task_file_exits_2(self, tmp_path, capsys):
+        missing = tmp_path / "nope.json"
+        assert main(["solve", str(missing)]) == 2
+        out, err = capsys.readouterr()
+        assert "does not exist" in out
+        assert "Traceback" not in out + err
+
+    def test_list_flag_needs_no_task_file(self, capsys):
+        assert main(["solve", "--list"]) == 0
+        assert "subinterval-der" in capsys.readouterr().out
+
+
+class TestServeErrorPaths:
+    def test_port_already_in_use_exits_1_with_hint(self, capsys):
+        import socket
+
+        with socket.socket() as sock:
+            sock.bind(("127.0.0.1", 0))
+            sock.listen(1)
+            port = sock.getsockname()[1]
+            code = main(["serve", "--port", str(port), "--log-interval", "0"])
+        out, err = capsys.readouterr()
+        assert code == 1
+        assert "already in use" in out
+        assert "--port 0" in out  # the remedy is part of the message
+        assert "Traceback" not in out + err
+
+    def test_invalid_chaos_spec_exits_2(self, capsys):
+        assert main(["serve", "--chaos", "bogus=1"]) == 2
+        out, err = capsys.readouterr()
+        assert "error" in out
+        assert "Traceback" not in out + err
 
 
 class TestInspect:
