@@ -4,9 +4,9 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: check lint test bench serve-smoke solvers-smoke chaos-smoke
+.PHONY: check lint test bench bench-smoke serve-smoke solvers-smoke chaos-smoke
 
-check: lint test solvers-smoke serve-smoke chaos-smoke
+check: lint test solvers-smoke serve-smoke chaos-smoke bench-smoke
 
 lint:
 	@if command -v ruff >/dev/null 2>&1; then \
@@ -20,6 +20,12 @@ test:
 
 bench:
 	$(PYTHON) -m pytest benchmarks -q -s
+
+# time the structured Newton kernels against the dense oracle on a small
+# instance; soft regression gate (fails only on gross slowdowns or any
+# energy disagreement beyond 1e-9)
+bench-smoke:
+	$(PYTHON) -m benchmarks.bench_optimal_kernel --smoke
 
 # boot the scheduling daemon on an ephemeral port, hit every endpoint once,
 # shut down gracefully

@@ -1,0 +1,269 @@
+"""Newton-kernel benchmark: structured vs dense, cold vs warm.
+
+Times the interior-point solver's Newton kernels on two paper-style
+instance families and emits a machine-readable report
+(``results/bench/BENCH_optimal.json`` for the archived full run,
+``BENCH_optimal_smoke.json`` for the CI smoke run):
+
+* ``long-horizon`` — tasks with localized windows spread over a long
+  horizon, the common aperiodic shape.  The subinterval band is narrow
+  (bandwidth ≈ tens of 1000 subintervals at n=500), so the banded
+  Cholesky kernel wins by an order of magnitude over the dense oracle.
+* ``overlap-heavy`` — the stock ``paper_workload`` generator, whose long
+  windows overlap almost everything (bandwidth ≈ J).  The band is useless
+  here; ``auto`` picks the Schur kernel, whose win is bounded by the
+  dense/Schur factor-cost ratio.
+
+Two modes:
+
+* ``--smoke`` — small instances with a *soft* regression gate: the run
+  fails only when ``auto`` is slower than the dense oracle by more than
+  ``--soft-factor`` (default 1.5×, lenient enough for noisy CI runners)
+  or when any kernel disagrees with the dense energy beyond 1e-9
+  relative.  Wired into ``make check`` / CI.
+* default (full) — the headline n=500 measurement behind
+  ``docs/benchmarking.md``; slow (the dense oracle alone runs ~10 s per
+  solve on small machines), run manually and commit the JSON.
+
+Usage::
+
+    python -m benchmarks.bench_optimal_kernel --smoke
+    python -m benchmarks.bench_optimal_kernel --n-tasks 500 --reps 1
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.core import Timeline
+from repro.core.task import TaskSet
+from repro.optimal import (
+    ConvexProblem,
+    InteriorPointSolver,
+    solve_problem,
+    warm_start_cache,
+)
+from repro.power import PolynomialPower
+from repro.workloads import paper_workload
+from repro.workloads.generator import PaperWorkloadConfig
+
+REL_TOL = 1e-9  # energy agreement demanded of every kernel / warm solve
+
+_POWER = PolynomialPower(alpha=3.0, static=0.1)
+
+
+def _overlap_heavy(n_tasks: int, m: int, seed: int) -> ConvexProblem:
+    rng = np.random.default_rng(seed)
+    tasks = paper_workload(rng, PaperWorkloadConfig(n_tasks=n_tasks))
+    return ConvexProblem(Timeline(tasks), m, _POWER)
+
+
+def _long_horizon(n_tasks: int, m: int, seed: int) -> ConvexProblem:
+    # localized windows (1-3 time units) spread over a horizon that grows
+    # with n: each subinterval couples only to near neighbours, keeping the
+    # band narrow regardless of instance size
+    rng = np.random.default_rng(seed)
+    horizon = n_tasks / 5.0
+    rel = np.sort(rng.uniform(0.0, horizon, n_tasks))
+    win = rng.uniform(1.0, 3.0, n_tasks)
+    works = rng.uniform(0.2, 0.8, n_tasks) * win
+    tasks = TaskSet.from_arrays(rel, rel + win, works)
+    return ConvexProblem(Timeline(tasks), m, _POWER)
+
+
+INSTANCES = {
+    "long-horizon": _long_horizon,
+    "overlap-heavy": _overlap_heavy,
+}
+
+
+def _time_solve(problem: ConvexProblem, kernel: str, reps: int) -> dict:
+    best = float("inf")
+    sol = None
+    for _ in range(reps):
+        t0 = time.perf_counter()
+        sol = InteriorPointSolver(problem, kernel=kernel).solve()
+        best = min(best, time.perf_counter() - t0)
+    pr = sol.profile
+    return {
+        "kernel": pr.kernel,  # what "auto" resolved to
+        "wall_s": best,
+        "energy": float(sol.energy),
+        "newton_iterations": pr.total_newton,
+        "factor_time_s": pr.factor_time_s,
+        "dense_fallbacks": pr.dense_fallbacks,
+        "polish_iters": pr.polish_iters,
+    }
+
+
+def _time_warm(problem: ConvexProblem) -> dict:
+    """Cold solve that deposits an iterate, then a warm solve from it."""
+    warm_start_cache().clear()
+    t0 = time.perf_counter()
+    cold = solve_problem(problem, warm="auto")
+    cold_s = time.perf_counter() - t0
+    t0 = time.perf_counter()
+    warm = solve_problem(problem, warm="auto")
+    warm_s = time.perf_counter() - t0
+    assert warm.profile.warm_started, "second solve should hit the cache"
+    return {
+        "cold_wall_s": cold_s,
+        "warm_wall_s": warm_s,
+        "cold_newton": cold.profile.total_newton,
+        "warm_newton": warm.profile.total_newton,
+        "rel_err": abs(warm.energy - cold.energy) / max(abs(cold.energy), 1.0),
+    }
+
+
+def run_instance(
+    name: str, n_tasks: int, m: int, seed: int, reps: int
+) -> tuple[dict, list[str]]:
+    """Benchmark one instance; returns (report, regression messages)."""
+    problem = INSTANCES[name](n_tasks, m, seed)
+    print(
+        f"{name}: n={n_tasks}, J={problem.n_subs}, k={problem.k}, "
+        f"bandwidth={problem.sub_bandwidth}",
+        flush=True,
+    )
+    kernels = {}
+    for kernel in ("dense", "banded", "schur", "auto"):
+        kernels[kernel] = _time_solve(problem, kernel, reps)
+        print(
+            f"  {kernel:>6s} -> {kernels[kernel]['kernel']:>6s}: "
+            f"{kernels[kernel]['wall_s']:8.3f}s, "
+            f"{kernels[kernel]['newton_iterations']:4d} Newton iters",
+            flush=True,
+        )
+    e_ref = kernels["dense"]["energy"]
+    max_rel = max(
+        abs(r["energy"] - e_ref) / max(abs(e_ref), 1.0)
+        for r in kernels.values()
+    )
+    warm = _time_warm(problem)
+    print(
+        f"    warm: {warm['warm_wall_s']:.3f}s / {warm['warm_newton']} iters "
+        f"(cold {warm['cold_wall_s']:.3f}s / {warm['cold_newton']})",
+        flush=True,
+    )
+    speedup = kernels["dense"]["wall_s"] / kernels["auto"]["wall_s"]
+    report = {
+        "n_tasks": n_tasks,
+        "m": m,
+        "seed": seed,
+        "reps": reps,
+        "n_vars": problem.k,
+        "n_subintervals": problem.n_subs,
+        "bandwidth": problem.sub_bandwidth,
+        "kernels": kernels,
+        "warm_start": warm,
+        "speedup_auto_vs_dense": speedup,
+        "max_rel_energy_err": max_rel,
+    }
+
+    regressions: list[str] = []
+    if max_rel > REL_TOL:
+        regressions.append(
+            f"{name}: kernel energy disagreement {max_rel:.2e} "
+            f"exceeds {REL_TOL:.0e}"
+        )
+    if warm["rel_err"] > REL_TOL:
+        regressions.append(
+            f"{name}: warm-vs-cold energy drift {warm['rel_err']:.2e} "
+            f"exceeds {REL_TOL:.0e}"
+        )
+    if warm["warm_newton"] >= warm["cold_newton"]:
+        regressions.append(
+            f"{name}: warm start saved no Newton iterations "
+            f"({warm['warm_newton']} >= {warm['cold_newton']})"
+        )
+    return report, regressions
+
+
+def main(argv: list[str] | None = None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--smoke", action="store_true", help="small CI-gate run")
+    ap.add_argument("--n-tasks", type=int, default=None)
+    ap.add_argument("--m", type=int, default=8)
+    ap.add_argument("--seed", type=int, default=7)
+    ap.add_argument("--reps", type=int, default=None)
+    ap.add_argument(
+        "--instance",
+        choices=[*INSTANCES, "all"],
+        default="all",
+        help="which instance family to time",
+    )
+    ap.add_argument(
+        "--soft-factor",
+        type=float,
+        default=1.5,
+        help="smoke gate: fail when auto is slower than dense by this factor",
+    )
+    ap.add_argument("--out", type=Path, default=None)
+    args = ap.parse_args(argv)
+
+    n_tasks = args.n_tasks or (60 if args.smoke else 500)
+    reps = args.reps or (1 if args.smoke else 3)
+    out = args.out or (
+        Path("results/bench")
+        / ("BENCH_optimal_smoke.json" if args.smoke else "BENCH_optimal.json")
+    )
+    names = list(INSTANCES) if args.instance == "all" else [args.instance]
+
+    print(f"Newton-kernel benchmark: n={n_tasks}, m={args.m}, reps={reps}")
+    instances: dict[str, dict] = {}
+    regressions: list[str] = []
+    for name in names:
+        rep, regs = run_instance(name, n_tasks, args.m, args.seed, reps)
+
+        # speed gate: a hard failure only in smoke mode, and only at the
+        # soft factor — CI runners are noisy and small instances amortize
+        # less setup; the overlap-heavy family is intrinsically bounded by
+        # the dense/Schur factor-cost ratio, so parity-ish is acceptable
+        speedup = rep["speedup_auto_vs_dense"]
+        if speedup * args.soft_factor < 1.0:
+            regs.append(
+                f"{name}: auto kernel {1 / speedup:.2f}x slower than dense "
+                f"(soft threshold {args.soft_factor}x)"
+            )
+        elif speedup < 1.0:
+            print(
+                f"warning: {name}: auto below parity ({speedup:.2f}x) but "
+                f"inside the {args.soft_factor}x soft threshold"
+            )
+        instances[name] = rep
+        regressions.extend(regs)
+
+    report = {
+        "benchmark": "optimal-newton-kernel",
+        "mode": "smoke" if args.smoke else "full",
+        "soft_factor": args.soft_factor,
+        "instances": instances,
+        "headline_speedup_auto_vs_dense": max(
+            r["speedup_auto_vs_dense"] for r in instances.values()
+        ),
+        "regressions": regressions,
+    }
+    out.parent.mkdir(parents=True, exist_ok=True)
+    out.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
+    for name, rep in instances.items():
+        print(
+            f"{name}: auto ({rep['kernels']['auto']['kernel']}) speedup vs "
+            f"dense {rep['speedup_auto_vs_dense']:.2f}x; max rel energy err "
+            f"{rep['max_rel_energy_err']:.2e}"
+        )
+    print(f"wrote {out}")
+    if regressions and args.smoke:
+        for msg in regressions:
+            print(f"REGRESSION: {msg}", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

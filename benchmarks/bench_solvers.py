@@ -41,6 +41,31 @@ def test_interior_point(benchmark, problem, reference_energy):
     assert sol.energy == pytest.approx(reference_energy, rel=1e-6)
 
 
+@pytest.mark.parametrize("kernel", ["banded", "schur"])
+def test_interior_point_kernel(benchmark, problem, reference_energy, kernel):
+    """The structured Newton kernels against the dense oracle above."""
+    sol = benchmark.pedantic(
+        lambda: InteriorPointSolver(problem, kernel=kernel).solve(),
+        rounds=3,
+        iterations=1,
+    )
+    assert sol.energy == pytest.approx(reference_energy, rel=1e-9)
+
+
+def test_interior_point_warm(benchmark, problem, reference_energy):
+    """A warm re-solve from the cached iterate of an identical solve."""
+    from repro.optimal import solve_problem, warm_start_cache
+
+    warm_start_cache().clear()
+    solve_problem(problem, warm="auto")  # deposit the iterate
+
+    sol = benchmark.pedantic(
+        lambda: solve_problem(problem, warm="auto"), rounds=3, iterations=1
+    )
+    assert sol.profile.warm_started
+    assert sol.energy == pytest.approx(reference_energy, rel=1e-9)
+
+
 def test_projected_gradient(benchmark, problem, reference_energy):
     sol = benchmark.pedantic(
         lambda: ProjectedGradientSolver(problem).solve(), rounds=1, iterations=1

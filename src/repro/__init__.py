@@ -23,6 +23,7 @@ from .core import (
     AllocationPlan,
     CoreSelection,
     IdealSolution,
+    OptimalCoreSelection,
     Schedule,
     SchedulingResult,
     Segment,
@@ -33,6 +34,7 @@ from .core import (
     Timeline,
     schedule_taskset,
     select_core_count,
+    select_core_count_optimal,
     solve_ideal,
 )
 from .optimal import OptimalSolution, optimal_schedule, solve_optimal
@@ -63,7 +65,9 @@ __all__ = [
     "SubintervalScheduler",
     "schedule_taskset",
     "CoreSelection",
+    "OptimalCoreSelection",
     "select_core_count",
+    "select_core_count_optimal",
     "PowerModel",
     "PolynomialPower",
     "DiscreteFrequencySet",

@@ -40,7 +40,10 @@ _MARKERS = ("circle", "square", "diamond", "triangle", "cross")
 
 def _nice_ticks(lo: float, hi: float, target: int = 6) -> list[float]:
     """Round tick positions covering [lo, hi]."""
-    if hi <= lo:
+    # a span below float resolution at the endpoints' magnitude would pick
+    # a step smaller than one ulp and ``t += step`` could never advance —
+    # treat it as flat, same as hi <= lo
+    if hi - lo <= max(abs(lo), abs(hi), 1.0) * 4e-15:
         hi = lo + 1.0
     raw = (hi - lo) / max(target, 2)
     mag = 10 ** math.floor(math.log10(raw))
@@ -53,7 +56,10 @@ def _nice_ticks(lo: float, hi: float, target: int = 6) -> list[float]:
     t = first
     while t <= hi + 1e-12 * step:
         ticks.append(round(t, 12))
-        t += step
+        nxt = t + step
+        if nxt <= t:  # pragma: no cover - defense against a zero-ulp step
+            break
+        t = nxt
     return ticks
 
 
@@ -105,7 +111,14 @@ def line_chart(
     y_lo, y_hi = min(all_y), max(all_y)
     if x_hi == x_lo:
         x_hi = x_lo + 1.0
-    pad = 0.06 * (y_hi - y_lo) or max(abs(y_hi), 1.0) * 0.06
+    # an all-but-flat series (spread below float resolution — e.g. every
+    # solver landing on identical energies) gets the same padding as an
+    # exactly-flat one
+    span = y_hi - y_lo
+    if span <= max(abs(y_lo), abs(y_hi), 1.0) * 4e-15:
+        pad = max(abs(y_hi), 1.0) * 0.06
+    else:
+        pad = 0.06 * span
     y_lo, y_hi = y_lo - pad, y_hi + pad
 
     def sx(x: float) -> float:

@@ -32,6 +32,12 @@ import numpy as np
 
 __all__ = ["main", "build_parser"]
 
+#: bare aliases of the exact solvers (``repro solve --solver interior-point``)
+#: that should receive the optimal-only ``--kernel``/``--cold`` options
+_OPTIMAL_BACKENDS = {
+    "interior-point", "projected-gradient", "slsqp", "trust-constr"
+}
+
 
 def build_parser() -> argparse.ArgumentParser:
     """Construct the argument parser (exposed for testing/docs)."""
@@ -88,6 +94,22 @@ def build_parser() -> argparse.ArgumentParser:
     sv.add_argument("-o", "--output", type=Path, help="write schedule JSON here")
     sv.add_argument(
         "--svg", type=Path, help="write an SVG Gantt chart to this path"
+    )
+    sv.add_argument(
+        "--kernel", choices=["auto", "banded", "schur", "dense"],
+        default="auto",
+        help="Newton kernel for the optimal:* solvers (default: auto)",
+    )
+    sv.add_argument(
+        "--cold", action="store_true",
+        help="disable warm starts for the optimal:* solvers",
+    )
+    sv.add_argument(
+        "--profile", action="store_true",
+        help=(
+            "print solver internals (optimal:*: kernel used, per-centering "
+            "Newton counts, factorization time, warm-start hit)"
+        ),
     )
 
     # schedule
@@ -323,8 +345,17 @@ def _cmd_solve(args) -> int:
         ),
         f_max=args.f_max,
     )
+    options = {}
+    if args.solver.split(":", 1)[0] in {"optimal", *_OPTIMAL_BACKENDS}:
+        options["kernel"] = args.kernel
+        if args.cold:
+            options["warm"] = False
     try:
-        result = solve(args.solver, SolveRequest(tasks=tasks, platform=platform))
+        result = solve(
+            args.solver,
+            SolveRequest(tasks=tasks, platform=platform),
+            **options,
+        )
     except UnknownSolverError:
         print(
             f"error: unknown solver {args.solver!r} — registered solvers: "
@@ -341,6 +372,25 @@ def _cmd_solve(args) -> int:
     for key in ("replans", "iterations", "backend", "cores_used"):
         if key in result.extras:
             print(f"{key}: {result.extras[key]}")
+    if args.profile:
+        ex = result.extras
+        if "kernel" in ex:
+            print(
+                f"kernel: {ex['kernel']}  newton iterations: "
+                f"{ex['newton_iterations']}  dense fallbacks: "
+                f"{ex['dense_fallbacks']}"
+            )
+            print(
+                f"newton per centering step: "
+                f"{list(ex['newton_per_center'])}"
+            )
+            print(
+                f"factor time: {ex['factor_time_s'] * 1e3:.2f} ms  "
+                f"polish iterations: {ex['polish_iters']}"
+            )
+            print(f"warm started: {ex['warm_started']}")
+        else:
+            print("profile: no kernel diagnostics for this solver")
     if result.deadline_misses:
         print(f"deadline misses: {list(result.deadline_misses)}")
     print(

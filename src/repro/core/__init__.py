@@ -16,7 +16,12 @@ from .admission import AdmissionController, AdmissionDecision
 from .online import OnlineResult, OnlineSubintervalScheduler
 from .practical_scheduler import PracticalResult, PracticalScheduler
 from .theory import BoundReport, certify_instance, intermediate_even_bound
-from .core_selection import CoreSelection, select_core_count
+from .core_selection import (
+    CoreSelection,
+    OptimalCoreSelection,
+    select_core_count,
+    select_core_count_optimal,
+)
 from .frequency import FrequencyAssignment, best_single_frequency, refine_frequencies
 from .ideal import IdealSolution, solve_ideal
 from .intervals import Subinterval, Timeline, build_timeline
@@ -62,5 +67,7 @@ __all__ = [
     "SubintervalScheduler",
     "schedule_taskset",
     "CoreSelection",
+    "OptimalCoreSelection",
     "select_core_count",
+    "select_core_count_optimal",
 ]

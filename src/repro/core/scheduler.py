@@ -71,15 +71,26 @@ class SubintervalScheduler:
         Number of homogeneous DVFS cores.
     power:
         Continuous power model ``p(f) = γ f^α + p₀``.
+    timeline:
+        Optional prebuilt :class:`~repro.core.intervals.Timeline` for
+        ``tasks``.  The timeline depends only on the task set — not on
+        ``m`` or ``power`` — so sweeps over core counts (and any caller
+        that already built one) should construct it once and share it.
     """
 
-    def __init__(self, tasks: TaskSet, m: int, power: PolynomialPower):
+    def __init__(
+        self,
+        tasks: TaskSet,
+        m: int,
+        power: PolynomialPower,
+        timeline: Timeline | None = None,
+    ):
         if m < 1:
             raise ValueError("m must be >= 1")
         self.tasks = tasks
         self.m = int(m)
         self.power = power
-        self.timeline = Timeline(tasks)
+        self.timeline = Timeline(tasks) if timeline is None else timeline
 
     # -- shared building blocks ----------------------------------------------------
 

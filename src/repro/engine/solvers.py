@@ -122,39 +122,77 @@ def _solve_practical(req: SolveRequest, options: Mapping) -> SolveResult:
 
 
 def _optimal(req: SolveRequest, options: Mapping, backend: str) -> SolveResult:
-    from ..optimal import optimal_schedule, solve_optimal, solve_optimal_capped
+    import numpy as np
+
+    from ..core.intervals import Timeline
+    from ..optimal import ConvexProblem, optimal_schedule, solve_problem
+    from ..optimal.warm import WarmStart
+
+    # the timeline depends only on the task set — share it across every
+    # solver invoked on this request (and with the subinterval pipeline's
+    # scheduler when that ran first)
+    timeline = req._scratch.get("timeline")
+    if timeline is None:
+        sch = req._scratch.get("scheduler")
+        timeline = sch.timeline if sch is not None else Timeline(req.tasks)
+        req._scratch["timeline"] = timeline
+    if req.platform.f_max is not None:
+        problem = ConvexProblem(
+            timeline,
+            req.platform.m,
+            req.platform.power,
+            min_available=req.tasks.works / req.platform.f_max,
+        )
+    else:
+        problem = ConvexProblem(timeline, req.platform.m, req.platform.power)
 
     kwargs = {}
     if options.get("config") is not None:
         kwargs["config"] = options["config"]
-    if req.platform.f_max is not None:
-        sol = solve_optimal_capped(
-            req.tasks,
-            req.platform.m,
-            req.platform.power,
-            req.platform.f_max,
-            solver=backend,
-            **kwargs,
-        )
-    else:
-        sol = solve_optimal(
-            req.tasks, req.platform.m, req.platform.power, solver=backend, **kwargs
+    # warm-start source: a prior interior-point solve on this same request
+    # (scratch) beats the process-wide signature-keyed cache ("auto");
+    # warm=False forces the bit-stable cold path
+    warm = options.get("warm", "auto")
+    if warm in (True, "auto") and req._scratch.get("ip_warm") is not None:
+        warm = req._scratch["ip_warm"]
+    sol = solve_problem(
+        problem,
+        solver=backend,
+        kernel=options.get("kernel", "auto"),
+        warm=warm,
+        **kwargs,
+    )
+    if sol.profile is not None and np.isfinite(sol.profile.t_certified):
+        req._scratch["ip_warm"] = WarmStart(
+            x=sol.x, t=sol.profile.t_certified
         )
     schedule = None
     if options.get("materialize", True):
         schedule = optimal_schedule(sol)
+    extras = {
+        "backend": sol.solver,
+        "iterations": sol.iterations,
+        "gap": sol.gap,
+        "available_times": sol.available_times,
+        "frequencies": sol.frequencies,
+    }
+    if sol.profile is not None:
+        pr = sol.profile
+        extras.update(
+            kernel=pr.kernel,
+            newton_iterations=pr.total_newton,
+            newton_per_center=pr.newton_per_center,
+            factor_time_s=pr.factor_time_s,
+            warm_started=pr.warm_started,
+            polish_iters=pr.polish_iters,
+            dense_fallbacks=pr.dense_fallbacks,
+        )
     return SolveResult(
         solver="",
         kind="optimal",
         energy=float(sol.energy),
         schedule=schedule,
-        extras={
-            "backend": sol.solver,
-            "iterations": sol.iterations,
-            "gap": sol.gap,
-            "available_times": sol.available_times,
-            "frequencies": sol.frequencies,
-        },
+        extras=extras,
     )
 
 

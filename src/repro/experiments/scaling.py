@@ -20,7 +20,7 @@ from ..optimal import solve_optimal
 from ..power.models import PolynomialPower
 from ..workloads.generator import PaperWorkloadConfig, paper_workload
 
-__all__ = ["ScalingResult", "run"]
+__all__ = ["ScalingResult", "KernelScalingResult", "run", "run_kernels"]
 
 
 @dataclass(frozen=True)
@@ -109,5 +109,131 @@ def run(
     )
 
 
+@dataclass(frozen=True)
+class KernelScalingResult:
+    """Newton-kernel comparison per task count (mean seconds per solve).
+
+    ``auto_s``/``dense_s`` are cold solves with the structure-exploiting
+    and dense kernels; ``warm_s`` re-solves the same instance from the
+    auto solve's deposited barrier iterate.  ``max_rel_err`` is the worst
+    relative energy disagreement of any variant against the dense oracle.
+    """
+
+    task_counts: tuple[int, ...]
+    auto_s: np.ndarray
+    dense_s: np.ndarray
+    warm_s: np.ndarray
+    max_rel_err: np.ndarray
+    reps: int
+
+    @property
+    def speedup(self) -> np.ndarray:
+        """Dense-oracle time over structured-kernel time (cold)."""
+        return self.dense_s / np.maximum(self.auto_s, 1e-12)
+
+    @property
+    def warm_speedup(self) -> np.ndarray:
+        """Dense-oracle time over warm-started structured time."""
+        return self.dense_s / np.maximum(self.warm_s, 1e-12)
+
+    def format(self, precision: int = 4) -> str:
+        """Text-table rendering."""
+        rows = [
+            [
+                int(n),
+                float(self.dense_s[i] * 1e3),
+                float(self.auto_s[i] * 1e3),
+                float(self.warm_s[i] * 1e3),
+                float(self.speedup[i]),
+                float(self.warm_speedup[i]),
+                float(self.max_rel_err[i]),
+            ]
+            for i, n in enumerate(self.task_counts)
+        ]
+        return format_table(
+            ["n", "dense (ms)", "auto (ms)", "warm (ms)",
+             "speedup", "warm speedup", "max rel err"],
+            rows,
+            precision=precision,
+            title=f"Newton-kernel scaling ({self.reps} reps, m=8)",
+        )
+
+    def to_csv(self) -> str:
+        """CSV rendering."""
+        rows = [
+            [
+                int(n),
+                float(self.dense_s[i]),
+                float(self.auto_s[i]),
+                float(self.warm_s[i]),
+                float(self.max_rel_err[i]),
+            ]
+            for i, n in enumerate(self.task_counts)
+        ]
+        return format_csv(
+            ["n", "dense_s", "auto_s", "warm_s", "max_rel_err"], rows
+        )
+
+
+def run_kernels(
+    reps: int = 3,
+    seed: int = 0,
+    task_counts: tuple[int, ...] = (25, 50, 100),
+    m: int = 8,
+) -> KernelScalingResult:
+    """Time the structured kernel, the dense oracle, and a warm re-solve.
+
+    The headline run (``task_counts=(500,)``) backs the archived numbers in
+    ``results/bench/BENCH_optimal.json``; the default counts keep the
+    experiment interactive.
+    """
+    from ..optimal import warm_start_cache
+
+    power = PolynomialPower(alpha=3.0, static=0.1)
+    a_t = np.zeros(len(task_counts))
+    d_t = np.zeros(len(task_counts))
+    w_t = np.zeros(len(task_counts))
+    err = np.zeros(len(task_counts))
+    for i, n in enumerate(task_counts):
+        ss = np.random.SeedSequence(seed + i)
+        for child in ss.spawn(reps):
+            rng = np.random.default_rng(child)
+            tasks = paper_workload(rng, PaperWorkloadConfig(n_tasks=int(n)))
+
+            warm_start_cache().clear()
+            t0 = time.perf_counter()
+            auto = solve_optimal(tasks, m, power, kernel="auto", warm="auto")
+            a_t[i] += time.perf_counter() - t0
+
+            # second solve of the same instance hits the deposited iterate
+            t0 = time.perf_counter()
+            warm = solve_optimal(tasks, m, power, kernel="auto", warm="auto")
+            w_t[i] += time.perf_counter() - t0
+
+            t0 = time.perf_counter()
+            dense = solve_optimal(tasks, m, power, kernel="dense")
+            d_t[i] += time.perf_counter() - t0
+
+            scale = max(abs(dense.energy), 1.0)
+            err[i] = max(
+                err[i],
+                abs(auto.energy - dense.energy) / scale,
+                abs(warm.energy - dense.energy) / scale,
+            )
+        a_t[i] /= reps
+        d_t[i] /= reps
+        w_t[i] /= reps
+    return KernelScalingResult(
+        task_counts=tuple(int(n) for n in task_counts),
+        auto_s=a_t,
+        dense_s=d_t,
+        warm_s=w_t,
+        max_rel_err=err,
+        reps=reps,
+    )
+
+
 if __name__ == "__main__":  # pragma: no cover
     print(run().format())
+    print()
+    print(run_kernels().format())

@@ -15,7 +15,7 @@ from ..core.task import TaskSet
 from ..core.wrap_schedule import Slot, wrap_schedule
 from ..power.models import PolynomialPower
 from .convex import ConvexProblem, OptimalSolution
-from .interior_point import InteriorPointSolver, IPConfig
+from .interior_point import KERNELS, InteriorPointSolver, IPConfig, KernelProfile
 from .diagnostics import CenteringRecord, ConvergenceTrace, solve_with_trace
 from .flow import DemandRealization, check_demand_feasibility, realize_demands
 from .kkt import (
@@ -25,18 +25,28 @@ from .kkt import (
     verify_optimality,
 )
 from .maxflow import FlowResult, MaxFlowNetwork
-from .projected_gradient import PGConfig, ProjectedGradientSolver, project_capped_box
+from .projected_gradient import (
+    PGConfig,
+    ProjectedGradientSolver,
+    project_capped_box,
+    project_columns,
+)
 from .scipy_solver import solve_with_scipy
+from .warm import WarmStart, WarmStartCache, repair_warm_start, warm_start_cache
 
 __all__ = [
     "ConvexProblem",
     "OptimalSolution",
     "InteriorPointSolver",
     "IPConfig",
+    "KernelProfile",
+    "KERNELS",
     "ProjectedGradientSolver",
     "PGConfig",
     "project_capped_box",
+    "project_columns",
     "solve_with_scipy",
+    "solve_problem",
     "solve_optimal",
     "solve_optimal_capped",
     "optimal_schedule",
@@ -52,7 +62,101 @@ __all__ = [
     "DemandRealization",
     "check_demand_feasibility",
     "realize_demands",
+    "WarmStart",
+    "WarmStartCache",
+    "repair_warm_start",
+    "warm_start_cache",
 ]
+
+
+#: Projected-gradient budget of the ``warm="pg"`` seeding pass: a handful of
+#: FISTA iterations land within a percent of the optimum, which is all the
+#: continuation needs to start several μ-steps up the path.
+_PG_SEED_CONFIG = PGConfig(max_iter=120, tol=1e-9, patience=4)
+
+#: Fraction of the objective the PG seed is assumed to be suboptimal by —
+#: deliberately pessimistic, so the implied starting gap is always an upper
+#: bound and the barrier certificate stays valid.
+_PG_SEED_GAP = 0.05
+
+
+def solve_problem(
+    problem: ConvexProblem,
+    solver: str = "interior-point",
+    *,
+    kernel: str = "auto",
+    warm: "WarmStart | str | bool | None" = None,
+    **kwargs,
+) -> OptimalSolution:
+    """Solve one already-built :class:`ConvexProblem` (see :func:`solve_optimal`).
+
+    ``warm`` selects the warm-start source:
+
+    * ``None``/``False`` — cold start (bit-stable oracle behavior);
+    * ``"auto"``/``True`` — consult the process-local
+      :func:`~repro.optimal.warm.warm_start_cache` for an iterate with the
+      same coverage signature (perturbed instance, adjacent sweep point);
+    * ``"pg"`` — seed from a cheap projected-gradient pass on this problem;
+    * a :class:`~repro.optimal.warm.WarmStart` — use the carried iterate.
+
+    Every usable warm source is feasibility-repaired first; an unusable one
+    silently degrades to a cold start.  Interior-point solves deposit their
+    final iterate back into the cache (the only solver with a certified
+    gap, hence a meaningful ``t``).
+    """
+    config = kwargs.get("config")
+    # the continuation growth factor, for placing warm t0; ``config`` is a
+    # PGConfig for the projected-gradient backend, which has no μ
+    mu = config.mu if isinstance(config, IPConfig) else IPConfig.mu
+    cache = warm_start_cache()
+    signature: tuple | None = None
+    x0: np.ndarray | None = None
+    t0: float | None = None
+    if warm not in (None, False):
+        signature = problem.coverage_signature()
+        carried: WarmStart | None = None
+        if isinstance(warm, WarmStart):
+            carried = warm
+        elif warm == "pg":
+            if problem.min_available is None and solver != "projected-gradient":
+                seed = ProjectedGradientSolver(problem, _PG_SEED_CONFIG).solve()
+                x0 = repair_warm_start(problem, seed.x)
+                if x0 is not None:
+                    n_ineq = 2 * problem.k + problem.n_subs
+                    gap0 = _PG_SEED_GAP * max(abs(seed.energy), 1.0)
+                    t0 = max(1.0, n_ineq / gap0) / mu
+        elif warm in (True, "auto"):
+            carried = cache.get(signature)
+        else:
+            raise ValueError(f"unsupported warm source {warm!r}")
+        if carried is not None:
+            x0 = repair_warm_start(problem, carried.x)
+            if x0 is not None:
+                # back off two continuation steps from the donor's final t:
+                # the repaired iterate is near the donor's optimum, not ours
+                t0 = max(1.0, float(carried.t)) / mu**2
+
+    if solver == "interior-point":
+        ip = InteriorPointSolver(problem, config, kernel=kernel)
+        sol = ip.solve(x0=x0, t0=t0)
+        if signature is not None and np.isfinite(sol.gap) and sol.gap > 0:
+            # deposit the certified continuation level, not the nominal
+            # final t: centering beyond the donor's float64 wall fails, so
+            # a recipient must resume below it
+            t_dep = sol.profile.t_certified if sol.profile else float("nan")
+            if not np.isfinite(t_dep):
+                t_dep = ip.n_ineq / sol.gap
+            cache.put(signature, WarmStart(x=sol.x, t=t_dep))
+        return sol
+    if solver == "projected-gradient":
+        if problem.min_available is not None:
+            raise ValueError(
+                "the projected-gradient solver does not support the capped "
+                "feasible set; use interior-point or a SciPy method"
+            )
+        return ProjectedGradientSolver(problem, config).solve(x0=x0)
+    kwargs.pop("config", None)
+    return solve_with_scipy(problem, method=solver, x0=x0, **kwargs)
 
 
 def solve_optimal(
@@ -72,14 +176,14 @@ def solve_optimal(
         ``"interior-point"`` (default, fast structured solver),
         ``"projected-gradient"``, or a SciPy method name (``"SLSQP"`` /
         ``"trust-constr"``).
+
+    Keyword-only ``kernel`` selects the interior-point Newton kernel
+    (``"auto"``/``"banded"``/``"schur"``/``"dense"``) and ``warm`` the
+    warm-start source (see :func:`solve_problem`).
     """
     timeline = Timeline(tasks)
     problem = ConvexProblem(timeline, m, power)
-    if solver == "interior-point":
-        return InteriorPointSolver(problem, kwargs.get("config")).solve()
-    if solver == "projected-gradient":
-        return ProjectedGradientSolver(problem, kwargs.get("config")).solve()
-    return solve_with_scipy(problem, method=solver, **kwargs)
+    return solve_problem(problem, solver, **kwargs)
 
 
 def solve_optimal_capped(
@@ -97,7 +201,8 @@ def solve_optimal_capped(
     the interior-point cost is unchanged).  Raises ``ValueError`` when the
     cap is infeasible for the instance (detected exactly by the phase-1 max
     flow).  The returned solution's ``frequencies = C_i/A_i`` all satisfy
-    the cap.
+    the cap.  Accepts the same ``kernel``/``warm`` keywords as
+    :func:`solve_optimal`.
     """
     if f_max <= 0:
         raise ValueError("f_max must be positive")
@@ -105,14 +210,7 @@ def solve_optimal_capped(
     problem = ConvexProblem(
         timeline, m, power, min_available=tasks.works / f_max
     )
-    if solver == "interior-point":
-        return InteriorPointSolver(problem, kwargs.get("config")).solve()
-    if solver == "projected-gradient":
-        raise ValueError(
-            "the projected-gradient solver does not support the capped "
-            "feasible set; use interior-point or a SciPy method"
-        )
-    return solve_with_scipy(problem, method=solver, **kwargs)
+    return solve_problem(problem, solver, **kwargs)
 
 
 def optimal_schedule(solution: OptimalSolution) -> Schedule:

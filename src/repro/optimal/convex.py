@@ -24,12 +24,16 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from functools import cached_property
+from typing import TYPE_CHECKING
 
 import numpy as np
 
 from ..core.intervals import Timeline
 from ..core.task import TaskSet
 from ..power.models import PolynomialPower
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type checkers
+    from .interior_point import KernelProfile
 
 __all__ = ["ConvexProblem", "OptimalSolution"]
 
@@ -103,6 +107,90 @@ class ConvexProblem:
     def column_sums(self, x: np.ndarray) -> np.ndarray:
         """``Σ_i x_{i,j}`` per subinterval."""
         return np.bincount(self.var_sub, weights=x, minlength=self.n_subs)
+
+    # -- structure (exploited by the Newton kernel) -----------------------------------
+
+    @cached_property
+    def task_indptr(self) -> np.ndarray:
+        """CSR-style boundaries: task ``i``'s variables are ``x[p[i]:p[i+1]]``.
+
+        Variables come out of :func:`numpy.nonzero` in row-major order, so
+        each task's variables form one contiguous run of the flat vector.
+        """
+        spans = np.bincount(self.var_task, minlength=self.n_tasks)
+        return np.concatenate([[0], np.cumsum(spans)]).astype(np.intp)
+
+    @cached_property
+    def has_contiguous_coverage(self) -> bool:
+        """True when every task covers a *contiguous* run of subintervals.
+
+        Guaranteed by construction (a window ``[R_i, D_i]`` covers the
+        consecutive subintervals inside it), but verified once so the
+        structured Newton kernel can fall back to the dense path instead of
+        silently producing a wrong factorization if the invariant is ever
+        broken by an exotic problem construction.
+        """
+        if self.k == 0:
+            return False
+        dt = np.diff(self.var_task)
+        if np.any(dt < 0):
+            return False
+        # within a task (dt == 0) subinterval indices must step by exactly 1
+        return bool(np.all((dt > 0) | (np.diff(self.var_sub) == 1)))
+
+    @cached_property
+    def sub_bandwidth(self) -> int:
+        """Half-bandwidth of the reduced subinterval system.
+
+        The Schur complement ``S[j, j']`` is nonzero only when some task
+        covers both ``j`` and ``j'``; with contiguous coverage that bounds
+        ``|j − j'|`` by the widest task span, making ``S`` banded.
+        """
+        p = self.task_indptr
+        nonempty = p[1:] > p[:-1]
+        if not nonempty.any():
+            return 0
+        lo = self.var_sub[p[:-1][nonempty]]
+        hi = self.var_sub[p[1:][nonempty] - 1]
+        return int((hi - lo).max())
+
+    @cached_property
+    def flat_index(self) -> np.ndarray:
+        """Flat ``(n_tasks·n_subs)`` scatter index of the covered pairs."""
+        return self.var_task * self.n_subs + self.var_sub
+
+    @cached_property
+    def sub_groups(self) -> tuple[np.ndarray, np.ndarray]:
+        """``(order, indptr)`` grouping variables by subinterval.
+
+        ``order[indptr[j]:indptr[j+1]]`` are the variable indices of
+        subinterval ``j`` — the per-subinterval gather used by the capped-box
+        projection (projected-gradient solver and KKT residuals).
+        """
+        order = np.argsort(self.var_sub, kind="stable")
+        counts = np.bincount(self.var_sub, minlength=self.n_subs)
+        indptr = np.concatenate([[0], np.cumsum(counts)]).astype(np.intp)
+        return order, indptr
+
+    def coverage_signature(self) -> tuple:
+        """Hashable identity of the variable layout (warm-start cache key).
+
+        Two problems share a signature exactly when their flattened variable
+        vectors line up entry-for-entry — the precondition for reusing an
+        iterate.  Depends only on the release/deadline pattern (not on works,
+        ``m``, or the power model), so perturbed and platform-swept instances
+        of one window structure all map to the same key.
+        """
+        import zlib
+
+        return (
+            self.n_tasks,
+            self.n_subs,
+            self.k,
+            self.min_available is not None,
+            zlib.crc32(self.var_task.tobytes()),
+            zlib.crc32(self.var_sub.tobytes()),
+        )
 
     # -- objective --------------------------------------------------------------------
 
@@ -234,6 +322,11 @@ class OptimalSolution:
     gap:
         Certified upper bound on suboptimality where available (the
         interior-point duality-gap bound), else ``nan``.
+    profile:
+        Per-solve :class:`~repro.optimal.interior_point.KernelProfile`
+        (Newton kernel used, per-centering iteration counts, factorization
+        wall time, warm-start provenance); ``None`` for solvers that do not
+        record one.
     """
 
     problem: ConvexProblem
@@ -242,6 +335,7 @@ class OptimalSolution:
     iterations: int
     solver: str
     gap: float = float("nan")
+    profile: "KernelProfile | None" = None
 
     @cached_property
     def available_times(self) -> np.ndarray:

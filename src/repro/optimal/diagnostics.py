@@ -1,9 +1,13 @@
 """Solver diagnostics: convergence traces of the interior-point method.
 
-Wraps the barrier solver to record, at each outer (centering) step, the
-barrier parameter, certified duality gap, objective value, and cumulative
-Newton iterations — the curve one inspects to confirm the expected linear
+Hooks into the barrier solver to record, at each outer (centering) step, the
+barrier parameter, certified duality gap, objective value, and Newton
+iteration counts — the curve one inspects to confirm the expected linear
 convergence of path following, and the data behind the solver benchmark.
+The tracer rides the production solve loop via
+:meth:`~repro.optimal.interior_point.InteriorPointSolver._on_center`, so the
+traced solve is the *same* solve (same kernel, same warm-start protocol,
+same polish) that ``repro solve`` runs — not a diagnostic reimplementation.
 """
 
 from __future__ import annotations
@@ -13,19 +17,27 @@ from dataclasses import dataclass
 import numpy as np
 
 from .convex import ConvexProblem, OptimalSolution
-from .interior_point import InteriorPointSolver, IPConfig
+from .interior_point import InteriorPointSolver, IPConfig, KernelProfile
 
 __all__ = ["CenteringRecord", "ConvergenceTrace", "solve_with_trace"]
 
 
 @dataclass(frozen=True)
 class CenteringRecord:
-    """State after one centering step of the barrier method."""
+    """State after one centering step of the barrier method.
+
+    ``newton_iterations`` is cumulative across the path;
+    ``newton_steps`` is this centering step's own count, and
+    ``factor_time_s`` the cumulative wall time spent in the Newton
+    kernel's linear solves so far.
+    """
 
     t: float
     gap: float
     objective: float
     newton_iterations: int
+    newton_steps: int = 0
+    factor_time_s: float = 0.0
 
 
 @dataclass(frozen=True)
@@ -50,6 +62,11 @@ class ConvergenceTrace:
         """Total Newton iterations across the path."""
         return self.records[-1].newton_iterations if self.records else 0
 
+    @property
+    def profile(self) -> KernelProfile | None:
+        """The solve's kernel profile (kernel used, factor time, warm flag)."""
+        return self.solution.profile
+
     def is_linearly_converging(self, factor: float = 2.0) -> bool:
         """True when the gap shrinks at least geometrically per step.
 
@@ -67,61 +84,42 @@ class ConvergenceTrace:
 class _TracingSolver(InteriorPointSolver):
     """Interior-point solver that records each centering step."""
 
-    def __init__(self, problem: ConvexProblem, config: IPConfig | None = None):
-        super().__init__(problem, config)
+    def __init__(
+        self,
+        problem: ConvexProblem,
+        config: IPConfig | None = None,
+        kernel: str = "auto",
+    ):
+        super().__init__(problem, config, kernel=kernel)
         self.records: list[CenteringRecord] = []
 
-    def solve(self, x0: np.ndarray | None = None) -> OptimalSolution:  # noqa: D102
-        p, cfg = self.p, self.cfg
-        x = p.feasible_start() if x0 is None else np.array(x0, dtype=np.float64)
-        t = cfg.t_init
-        total_iters = 0
-        for _outer in range(cfg.max_outer):
-            for _ in range(cfg.max_newton):
-                dx, lam2 = self._newton_step(x, t)
-                total_iters += 1
-                if lam2 / 2.0 <= cfg.newton_tol:
-                    break
-                step = 1.0
-                phi0 = self._phi(x, t)
-                g = self._grad_phi(x, t)
-                slope = float(g @ dx)
-                while step > 1e-14:
-                    cand = x + step * dx
-                    phi1 = self._phi(cand, t)
-                    if np.isfinite(phi1) and phi1 <= phi0 + cfg.armijo * step * slope:
-                        break
-                    step *= cfg.backtrack
-                else:
-                    break
-                x = x + step * dx
-
-            gap = self.n_ineq / t
-            obj = p.objective(x)
-            self.records.append(
-                CenteringRecord(
-                    t=t, gap=gap, objective=obj, newton_iterations=total_iters
-                )
+    def _on_center(
+        self, t: float, gap: float, obj: float, total_newton: int, steps: int
+    ) -> None:
+        self.records.append(
+            CenteringRecord(
+                t=t,
+                gap=gap,
+                objective=obj,
+                newton_iterations=total_newton,
+                newton_steps=steps,
+                factor_time_s=self._factor_time,
             )
-            if gap <= cfg.gap_tol * max(abs(obj), 1.0):
-                break
-            t *= cfg.mu
-
-        x = p.clip_feasible(x)
-        return OptimalSolution(
-            problem=p,
-            x=x,
-            energy=p.objective(x),
-            iterations=total_iters,
-            solver="interior-point",
-            gap=float(self.records[-1].gap) if self.records else float("nan"),
         )
 
 
 def solve_with_trace(
-    problem: ConvexProblem, config: IPConfig | None = None
+    problem: ConvexProblem,
+    config: IPConfig | None = None,
+    kernel: str = "auto",
+    x0: np.ndarray | None = None,
+    t0: float | None = None,
 ) -> ConvergenceTrace:
-    """Solve and return the full convergence history."""
-    solver = _TracingSolver(problem, config)
-    solution = solver.solve()
+    """Solve and return the full convergence history.
+
+    Accepts the production solver's ``kernel`` selection and warm-start
+    inputs (``x0``/``t0``) so any solve configuration can be traced.
+    """
+    solver = _TracingSolver(problem, config, kernel=kernel)
+    solution = solver.solve(x0=x0, t0=t0)
     return ConvergenceTrace(solution=solution, records=tuple(solver.records))

@@ -18,20 +18,13 @@ from dataclasses import dataclass
 import numpy as np
 
 from .convex import ConvexProblem
-from .projected_gradient import project_capped_box
+from .projected_gradient import project_columns
 
 __all__ = ["projection_residual", "verify_optimality", "active_constraints", "ActivityReport"]
 
 
 def _project(problem: ConvexProblem, y: np.ndarray) -> np.ndarray:
-    out = np.empty_like(y)
-    for j in range(problem.n_subs):
-        mask = problem.var_sub == j
-        if mask.any():
-            out[mask] = project_capped_box(
-                y[mask], problem.var_len[mask], float(problem.caps[j])
-            )
-    return out
+    return project_columns(problem, y)
 
 
 def projection_residual(

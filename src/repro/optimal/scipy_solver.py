@@ -21,6 +21,7 @@ def solve_with_scipy(
     method: str = "SLSQP",
     tol: float = 1e-12,
     max_iter: int = 500,
+    x0: np.ndarray | None = None,
 ) -> OptimalSolution:
     """Solve the convex program with a SciPy NLP method.
 
@@ -32,9 +33,12 @@ def solve_with_scipy(
         ``"SLSQP"`` (default) or ``"trust-constr"``.
     tol, max_iter:
         Passed through to SciPy.
+    x0:
+        Optional feasible starting point (warm start); defaults to the
+        analytic ``feasible_start``.
     """
     p = problem
-    x0 = p.feasible_start()
+    x0 = p.feasible_start() if x0 is None else np.asarray(x0, dtype=np.float64)
     bounds = [(0.0, float(u)) for u in p.var_len]
 
     # capacity rows: for each subinterval j, sum of its variables ≤ m·Δ_j

@@ -39,6 +39,17 @@ class TestLineChart:
         svg = line_chart([0, 1, 2], {"s": [1.0, float("nan"), 2.0]})
         _parse(svg)
 
+    def test_flat_series(self):
+        svg = line_chart([0, 1, 2], {"s": [1.0, 1.0, 1.0]})
+        _parse(svg)
+
+    def test_sub_ulp_spread_terminates(self):
+        # spread below float resolution around 1.0: a naive tick step is
+        # smaller than one ulp and the tick loop could never advance
+        ys = [0.9999999999999999, 1.0, 1.0000000000000002]
+        svg = line_chart([0, 1, 2], {"s": ys})
+        _parse(svg)
+
     def test_length_mismatch(self):
         with pytest.raises(ValueError):
             line_chart([0, 1], {"s": [1.0]})
