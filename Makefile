@@ -4,9 +4,9 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: check lint test bench bench-smoke serve-smoke solvers-smoke chaos-smoke
+.PHONY: check lint test bench bench-smoke serve-smoke solvers-smoke chaos-smoke obs-smoke
 
-check: lint test solvers-smoke serve-smoke chaos-smoke bench-smoke
+check: lint test solvers-smoke serve-smoke chaos-smoke obs-smoke bench-smoke
 
 lint:
 	@if command -v ruff >/dev/null 2>&1; then \
@@ -42,3 +42,9 @@ solvers-smoke:
 # jobs, bit-identical retries, visible degradation, and a bounded p99
 chaos-smoke:
 	$(PYTHON) -m repro.service.chaos --requests 60 --seed 7
+
+# traced daemon + loadgen: every scheduled trace must carry the complete
+# service→pool→engine→solver span chain, /metrics must expose parseable
+# Prometheus text, and tracing must stay within 5% of untraced p50
+obs-smoke:
+	$(PYTHON) -m repro.obs.smoke

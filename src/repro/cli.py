@@ -11,6 +11,7 @@ Commands
 ``experiment`` run one of the paper's figure/table experiments
 ``serve``      run the asyncio scheduling daemon (:mod:`repro.service`)
 ``loadgen``    drive a running daemon with the async load generator
+``trace``      analyze a JSONL span export (``repro serve --trace``)
 
 ``solve`` is the registry-backed front door (:mod:`repro.engine`):
 ``repro solve tasks.json --solver yds`` reaches the same solver the HTTP
@@ -226,6 +227,14 @@ def build_parser() -> argparse.ArgumentParser:
             "'kill=0.05,delay=0.1:0.02,drop=0.02,seed=7'"
         ),
     )
+    v.add_argument(
+        "--trace", type=Path, default=None, metavar="FILE",
+        help="export request span trees as JSONL here (repro trace FILE)",
+    )
+    v.add_argument(
+        "--trace-sample", type=float, default=1.0,
+        help="fraction of traces exported (sampled per trace id)",
+    )
 
     # loadgen
     lg = sub.add_parser("loadgen", help="drive a running daemon with load")
@@ -266,6 +275,17 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     lg.add_argument("--json", action="store_true", help="print raw stats JSON")
+
+    # trace
+    t = sub.add_parser(
+        "trace", help="analyze a JSONL span export from repro serve --trace"
+    )
+    t.add_argument(
+        "spans", type=Path, help="JSONL span file written by the daemon"
+    )
+    t.add_argument(
+        "--json", action="store_true", help="print the raw summary JSON"
+    )
 
     # report
     r = sub.add_parser(
@@ -351,11 +371,24 @@ def _cmd_solve(args) -> int:
         if args.cold:
             options["warm"] = False
     try:
-        result = solve(
-            args.solver,
-            SolveRequest(tasks=tasks, platform=platform),
-            **options,
-        )
+        if args.profile:
+            # capture the solve's span tree so the profile report can show
+            # where the wall time went, not just the solver's own extras
+            from .obs import capture
+
+            with capture() as profile_spans:
+                result = solve(
+                    args.solver,
+                    SolveRequest(tasks=tasks, platform=platform),
+                    **options,
+                )
+        else:
+            profile_spans = []
+            result = solve(
+                args.solver,
+                SolveRequest(tasks=tasks, platform=platform),
+                **options,
+            )
     except UnknownSolverError:
         print(
             f"error: unknown solver {args.solver!r} — registered solvers: "
@@ -373,24 +406,9 @@ def _cmd_solve(args) -> int:
         if key in result.extras:
             print(f"{key}: {result.extras[key]}")
     if args.profile:
-        ex = result.extras
-        if "kernel" in ex:
-            print(
-                f"kernel: {ex['kernel']}  newton iterations: "
-                f"{ex['newton_iterations']}  dense fallbacks: "
-                f"{ex['dense_fallbacks']}"
-            )
-            print(
-                f"newton per centering step: "
-                f"{list(ex['newton_per_center'])}"
-            )
-            print(
-                f"factor time: {ex['factor_time_s'] * 1e3:.2f} ms  "
-                f"polish iterations: {ex['polish_iters']}"
-            )
-            print(f"warm started: {ex['warm_started']}")
-        else:
-            print("profile: no kernel diagnostics for this solver")
+        from .obs.profile import format_solve_profile
+
+        print(format_solve_profile(result, profile_spans))
     if result.deadline_misses:
         print(f"deadline misses: {list(result.deadline_misses)}")
     print(
@@ -545,6 +563,8 @@ def _cmd_serve(args) -> int:
             retry_max=args.retry_max,
             retry_backoff=args.retry_backoff,
             faults=args.chaos,
+            trace_path=str(args.trace) if args.trace else "",
+            trace_sample=args.trace_sample,
         )
     except ValueError as exc:
         print(f"error: {exc}")
@@ -598,6 +618,25 @@ def _cmd_loadgen(args) -> int:
     return 0 if ok else 1
 
 
+def _cmd_trace(args) -> int:
+    import json as _json
+
+    from .obs.report import format_trace_report, load_spans, trace_summary
+
+    if not args.spans.exists():
+        print(f"error: span file {args.spans} does not exist")
+        return 2
+    spans = load_spans(args.spans)
+    if not spans:
+        print(f"no spans found in {args.spans}")
+        return 1
+    if args.json:
+        print(_json.dumps(trace_summary(spans), indent=2))
+    else:
+        print(format_trace_report(spans))
+    return 0
+
+
 def _cmd_report(args) -> int:
     from .analysis.report import generate_report
 
@@ -622,6 +661,7 @@ _COMMANDS = {
     "experiment": _cmd_experiment,
     "serve": _cmd_serve,
     "loadgen": _cmd_loadgen,
+    "trace": _cmd_trace,
     "report": _cmd_report,
 }
 

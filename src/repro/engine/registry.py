@@ -16,11 +16,14 @@ records the degradation on the :class:`SolveResult` (``degraded_from`` /
 
 from __future__ import annotations
 
+import contextlib
+import contextvars
 import threading
 import time
 from dataclasses import replace
 from typing import Callable, Mapping
 
+from ..obs import context as obs
 from .contract import SolveRequest, SolveResult
 
 __all__ = [
@@ -113,10 +116,14 @@ def _run_bounded(fn: SolverFn, request: SolveRequest, options: Mapping, timeout:
     """
     outcome: dict = {}
     done = threading.Event()
+    # carry the caller's trace context onto the solver thread, so events
+    # the solver records (e.g. per-centering ``ip.center``) land on the
+    # active solver span instead of vanishing into an empty context
+    ctx = contextvars.copy_context()
 
     def target() -> None:
         try:
-            outcome["result"] = fn(request, options)
+            outcome["result"] = ctx.run(fn, request, options)
         except BaseException as exc:  # noqa: BLE001 - re-raised on the caller
             outcome["error"] = exc
         finally:
@@ -187,39 +194,63 @@ def solve(
     fallback_canonical = (
         resolve_name(fallback) if fallback is not None else None
     )
-    t0 = time.perf_counter()
-    degraded_reason: str | None = None
-    try:
-        if timeout is not None:
-            raw = _run_bounded(fn, request, merged, timeout)
-        else:
-            raw = fn(request, merged)
-    except TimeoutError:
-        if fallback_canonical is None or fallback_canonical == canonical:
-            raise SolverTimeoutError(canonical, timeout) from None
-        degraded_reason = f"timeout after {timeout:g}s"
-    except Exception as exc:  # noqa: BLE001 - degraded to the fallback below
-        if fallback_canonical is None or fallback_canonical == canonical:
-            raise
-        degraded_reason = f"{type(exc).__name__}: {exc}"
-    if degraded_reason is not None:
-        fb_options = {
-            k: v
-            for k, v in merged.items()
-            if k not in ("materialize", "config")
-        }
-        raw = _REGISTRY[fallback_canonical](request, fb_options)
-        wall = time.perf_counter() - t0
-        result = replace(
-            raw,
-            solver=fallback_canonical,
-            wall_time_s=wall,
-            degraded_from=canonical,
-            degraded_reason=degraded_reason,
+    # tracing is opt-in at the context level: untraced callers pay two
+    # contextvar reads here and nothing else
+    traced = obs.active()
+
+    def run(solver_name: str, solver_fn: SolverFn, opts: Mapping, bound):
+        call = (
+            (lambda: _run_bounded(solver_fn, request, opts, bound))
+            if bound is not None
+            else (lambda: solver_fn(request, opts))
         )
-    else:
-        wall = time.perf_counter() - t0
-        result = replace(raw, solver=canonical, wall_time_s=wall)
-    if validate and result.schedule is not None:
-        result = _validated(result)
+        if not traced:
+            return call()
+        with obs.span(f"solver:{solver_name}", n_tasks=len(request.tasks)):
+            return call()
+
+    with (
+        obs.span("engine.solve", solver=canonical)
+        if traced
+        else contextlib.nullcontext()
+    ) as engine_sp:
+        t0 = time.perf_counter()
+        degraded_reason: str | None = None
+        try:
+            raw = run(canonical, fn, merged, timeout)
+        except TimeoutError:
+            if fallback_canonical is None or fallback_canonical == canonical:
+                raise SolverTimeoutError(canonical, timeout) from None
+            degraded_reason = f"timeout after {timeout:g}s"
+        except Exception as exc:  # noqa: BLE001 - degraded to the fallback below
+            if fallback_canonical is None or fallback_canonical == canonical:
+                raise
+            degraded_reason = f"{type(exc).__name__}: {exc}"
+        if degraded_reason is not None:
+            fb_options = {
+                k: v
+                for k, v in merged.items()
+                if k not in ("materialize", "config")
+            }
+            raw = run(fallback_canonical, _REGISTRY[fallback_canonical], fb_options, None)
+            wall = time.perf_counter() - t0
+            result = replace(
+                raw,
+                solver=fallback_canonical,
+                wall_time_s=wall,
+                degraded_from=canonical,
+                degraded_reason=degraded_reason,
+            )
+            if engine_sp is not None:
+                engine_sp.set("degraded_from", canonical)
+                engine_sp.set("degraded_reason", degraded_reason)
+        else:
+            wall = time.perf_counter() - t0
+            result = replace(raw, solver=canonical, wall_time_s=wall)
+        if validate and result.schedule is not None:
+            if traced:
+                with obs.span("engine.validate"):
+                    result = _validated(result)
+            else:
+                result = _validated(result)
     return result

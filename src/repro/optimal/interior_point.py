@@ -544,7 +544,22 @@ class InteriorPointSolver:
     def _on_center(
         self, t: float, gap: float, obj: float, total_newton: int, steps: int
     ) -> None:
-        """Hook invoked after every centering step (overridden by tracers)."""
+        """Hook invoked after every centering step (overridden by tracers).
+
+        The base implementation feeds the observability layer: when a
+        trace is active, each centering step becomes an ``ip.center``
+        event on the enclosing solver span (one contextvar read when
+        tracing is off).  Tracer subclasses that override this record
+        their own structures instead.
+        """
+        from ..obs import context as obs_context
+
+        obs_context.add_event(
+            "ip.center",
+            t=float(t),
+            gap=float(gap),
+            newton=int(steps),
+        )
 
     def solve(
         self, x0: np.ndarray | None = None, t0: float | None = None

@@ -87,6 +87,13 @@ class ServiceConfig:
         Chaos spec string (:meth:`repro.service.faults.FaultSpec.parse`),
         e.g. ``"kill=0.05,delay=0.1:0.02,drop=0.02,seed=7"``.  Empty
         disables fault injection (the production default).
+    trace_path:
+        JSONL span-export file (``repro serve --trace``).  Empty disables
+        export; spans are still created (they feed the per-stage
+        ``stage_ms:*`` histograms) but dropped instead of written.
+    trace_sample:
+        Fraction of traces exported, decided per trace id so span trees
+        are never torn (:func:`repro.obs.context.trace_sampled`).
     """
 
     host: str = "127.0.0.1"
@@ -108,6 +115,8 @@ class ServiceConfig:
     retry_backoff: float = 0.05
     retry_backoff_cap: float = 1.0
     faults: str = ""
+    trace_path: str = ""
+    trace_sample: float = 1.0
 
     def __post_init__(self) -> None:
         if self.workers < 0:
@@ -128,6 +137,8 @@ class ServiceConfig:
             raise ValueError("f_max must be positive")
         if self.solver_timeout < 0:
             raise ValueError("solver_timeout must be >= 0 (0 disables)")
+        if not 0.0 <= self.trace_sample <= 1.0:
+            raise ValueError("trace_sample must be in [0, 1]")
         # delegate retry validation (and fail at config time, not dispatch)
         self.retry_policy()
         # ditto for the chaos spec string

@@ -58,24 +58,36 @@ class HttpClient:
             self._reader = self._writer = None
 
     def encode_request(
-        self, method: str, path: str, payload: dict | None = None
+        self,
+        method: str,
+        path: str,
+        payload: dict | None = None,
+        headers: dict | None = None,
     ) -> bytes:
         """Serialize one request to wire bytes (reusable across sends)."""
         body = json.dumps(payload).encode() if payload is not None else b""
+        extra = "".join(f"{k}: {v}\r\n" for k, v in (headers or {}).items())
         head = (
             f"{method} {path} HTTP/1.1\r\n"
             f"Host: {self.host}:{self.port}\r\n"
             f"Content-Type: application/json\r\n"
             f"Content-Length: {len(body)}\r\n"
+            f"{extra}"
             "\r\n"
         ).encode("latin-1")
         return head + body
 
     async def request(
-        self, method: str, path: str, payload: dict | None = None
+        self,
+        method: str,
+        path: str,
+        payload: dict | None = None,
+        headers: dict | None = None,
     ) -> tuple[int, dict]:
         """Issue one request; reconnects transparently if the peer closed."""
-        return await self.request_encoded(self.encode_request(method, path, payload))
+        return await self.request_encoded(
+            self.encode_request(method, path, payload, headers)
+        )
 
     async def request_encoded(
         self, data: bytes, decode: bool = True
@@ -113,20 +125,32 @@ class HttpClient:
                 headers[name.strip().lower()] = value.strip()
         length = int(headers.get("content-length", "0") or "0")
         data = await self._reader.readexactly(length) if length else b""
-        payload = json.loads(data.decode()) if (data and decode) else {}
+        if data and decode:
+            # non-JSON bodies (e.g. a Prometheus exposition) come back raw
+            if "json" in headers.get("content-type", "application/json"):
+                payload = json.loads(data.decode())
+            else:
+                payload = {"text": data.decode()}
+        else:
+            payload = {}
         if headers.get("connection", "").lower() == "close":
             await self.close()
         return status, payload
 
 
 async def request_once(
-    host: str, port: int, method: str, path: str, payload: dict | None = None
+    host: str,
+    port: int,
+    method: str,
+    path: str,
+    payload: dict | None = None,
+    headers: dict | None = None,
 ) -> tuple[int, dict]:
     """One-shot request on a throwaway connection (smoke tests)."""
     client = HttpClient(host, port)
     await client.connect()
     try:
-        return await client.request(method, path, payload)
+        return await client.request(method, path, payload, headers)
     finally:
         await client.close()
 

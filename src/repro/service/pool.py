@@ -41,11 +41,13 @@ import multiprocessing
 import os
 import random
 import signal
+import time
 from bisect import bisect_right
 from concurrent.futures import BrokenExecutor, ProcessPoolExecutor
 from typing import Callable, Sequence
 
 from ..experiments.parallel import chunk_size
+from ..obs import context as obs
 from .config import RetryPolicy
 from .faults import FaultInjector, SimulatedWorkerCrash, kill_one_worker
 from .metrics import MetricsRegistry
@@ -59,7 +61,34 @@ __all__ = [
 
 
 class WorkerCrashError(RuntimeError):
-    """A dispatch crashed its worker and exhausted the retry budget."""
+    """A dispatch crashed its worker and exhausted the retry budget.
+
+    ``per_job_spans`` (one list of span dicts per job of the chunk, when
+    the jobs carried trace context) records every crashed attempt as a
+    ``pool.attempt`` span — the abandoned attempts stay visible on the
+    trace even though the workers that ran them died without reporting.
+    """
+
+    def __init__(self, message: str, per_job_spans: list[list[dict]] | None = None):
+        super().__init__(message)
+        self.per_job_spans = per_job_spans
+
+
+def _queue_span(carrier: dict, end: float | None = None) -> dict:
+    """The queue/batch wait reconstructed from the carrier's enqueue time.
+
+    The batcher itself knows nothing about tracing: the server stamps
+    ``enqueued_at`` into the carrier at submit time, and the worker closes
+    the interval when the batch actually starts solving.
+    """
+    start = float(carrier.get("enqueued_at", time.time()))
+    return obs.manual_span(
+        "batch.queue",
+        trace_id=str(carrier["trace_id"]),
+        parent_id=str(carrier["parent"]),
+        start=start,
+        end=end,
+    )
 
 
 def _pool_context():
@@ -141,9 +170,15 @@ def _solve_one_schedule(job: dict) -> dict:
         if key in result.extras:
             out[key] = result.extras[key]
     if job.get("include_schedule", True) and result.schedule is not None:
-        out["schedule"] = json.loads(
-            schedule_to_json(result.schedule, indent=None)
-        )
+        if obs.active():
+            with obs.span("pool.pack"):
+                out["schedule"] = json.loads(
+                    schedule_to_json(result.schedule, indent=None)
+                )
+        else:
+            out["schedule"] = json.loads(
+                schedule_to_json(result.schedule, indent=None)
+            )
     return out
 
 
@@ -275,22 +310,89 @@ def solve_schedule_batch(jobs: Sequence[dict]) -> list[dict]:
             out[i] = _solve_solo(jobs[i])
     for idxs in groups.values():
         if len(idxs) > 1:
+            group = [jobs[i] for i in idxs]
+            t0 = time.time()
             try:
-                for i, res in zip(idxs, _solve_fused([jobs[i] for i in idxs])):
-                    out[i] = res
-                continue
+                results = _solve_fused(group)
             except Exception:  # noqa: BLE001 - fall back to per-job isolation
                 pass
+            else:
+                t1 = time.time()
+                for i, res in zip(idxs, results):
+                    carrier = jobs[i].get("_trace")
+                    if carrier is not None:
+                        res["_spans"] = _fused_spans(
+                            carrier, jobs[i], t0, t1, len(idxs)
+                        )
+                    out[i] = res
+                continue
         for i in idxs:
             out[i] = _solve_solo(jobs[i])
     return out  # type: ignore[return-value]
 
 
+def _fused_spans(
+    carrier: dict, job: dict, t0: float, t1: float, group_size: int
+) -> list[dict]:
+    """Manual span chain for one job solved inside a fused group pass.
+
+    A fused solve has no per-job call stack to trace through, so the
+    queue → pool.solve → engine.solve → solver chain is reconstructed
+    from the group's shared wall-clock interval; ``fused=True`` and the
+    group size mark these spans as shared work.
+    """
+    from ..engine import resolve_name
+
+    trace_id = str(carrier["trace_id"])
+    queue = _queue_span(carrier, end=t0)
+    pool_sp = obs.manual_span(
+        "pool.solve",
+        trace_id=trace_id,
+        parent_id=str(carrier["parent"]),
+        start=t0,
+        end=t1,
+        fused=True,
+        group_size=group_size,
+    )
+    solver = resolve_name(job["method"])
+    engine_sp = obs.manual_span(
+        "engine.solve",
+        trace_id=trace_id,
+        parent_id=pool_sp["span_id"],
+        start=t0,
+        end=t1,
+        solver=solver,
+        fused=True,
+    )
+    solver_sp = obs.manual_span(
+        f"solver:{solver}",
+        trace_id=trace_id,
+        parent_id=engine_sp["span_id"],
+        start=t0,
+        end=t1,
+        fused=True,
+    )
+    return [queue, pool_sp, engine_sp, solver_sp]
+
+
 def _solve_solo(job: dict) -> dict:
-    try:
-        return _solve_one_schedule(job)
-    except Exception as exc:  # noqa: BLE001 - isolated per job
-        return {"error": f"{type(exc).__name__}: {exc}"}
+    carrier = job.get("_trace")
+    if carrier is None:
+        try:
+            return _solve_one_schedule(job)
+        except Exception as exc:  # noqa: BLE001 - isolated per job
+            return {"error": f"{type(exc).__name__}: {exc}"}
+    # traced: re-enter the request's trace, buffer this job's spans, and
+    # ship them home on the result dict (the server stitches them back)
+    with obs.capture() as spans, obs.activate(carrier):
+        spans.append(_queue_span(carrier))
+        try:
+            with obs.span("pool.solve", fused=False):
+                result = _solve_one_schedule(job)
+        except Exception as exc:  # noqa: BLE001 - isolated per job
+            result = {"error": f"{type(exc).__name__}: {exc}"}
+    result["_spans"] = spans
+    return result
 
 
 def solve_optimal_job(job: dict) -> dict:
@@ -302,6 +404,18 @@ def solve_optimal_job(job: dict) -> dict:
     crashing exact backend degrades to the fallback heuristic and the
     response records the degradation instead of surfacing an error.
     """
+    carrier = job.get("_trace")
+    if carrier is None:
+        return _solve_one_optimal(job)
+    with obs.capture() as spans, obs.activate(carrier):
+        spans.append(_queue_span(carrier))
+        with obs.span("pool.solve", fused=False):
+            result = _solve_one_optimal(job)
+    result["_spans"] = spans
+    return result
+
+
+def _solve_one_optimal(job: dict) -> dict:
     import numpy as np
 
     from ..engine import Platform, SolveRequest, solve
@@ -435,13 +549,30 @@ class SolveDispatcher:
             self._pool = self._make_pool()
 
     async def _dispatch_supervised(
-        self, fn: Callable, payload, n_jobs: int
+        self,
+        fn: Callable,
+        payload,
+        n_jobs: int,
+        trace_jobs: Sequence[dict] | None = None,
     ):
-        """Run one executor submission under the crash/retry supervisor."""
+        """Run one executor submission under the crash/retry supervisor.
+
+        ``trace_jobs`` (the individual job dicts of this submission, when
+        the caller has them) lets the supervisor keep crashed attempts on
+        the trace: a worker that dies takes its capture buffer with it, so
+        each crash is reconstructed dispatcher-side as a ``pool.attempt``
+        span per traced job.  Those spans ride the eventual results (or
+        :attr:`WorkerCrashError.per_job_spans` on abandonment).
+        """
         loop = asyncio.get_running_loop()
+        carriers = [
+            job.get("_trace") for job in (trace_jobs or [])
+        ]
+        crash_spans: list[list[dict]] = [[] for _ in carriers]
         attempt = 0
         while True:
             pool = self._pool
+            t0 = time.time()
             try:
                 if self.injector is not None and self.injector.should_kill(
                     attempt
@@ -451,27 +582,74 @@ class SolveDispatcher:
                             "chaos: worker killed mid-solve"
                         )
                 self.dispatch_count += 1
-                return await loop.run_in_executor(pool, fn, payload)
+                result = await loop.run_in_executor(pool, fn, payload)
+                if any(crash_spans):
+                    self._attach_crash_spans(result, crash_spans)
+                return result
             except (BrokenExecutor, SimulatedWorkerCrash) as exc:
+                for i, carrier in enumerate(carriers):
+                    if carrier is not None:
+                        crash_spans[i].append(
+                            obs.manual_span(
+                                "pool.attempt",
+                                trace_id=str(carrier["trace_id"]),
+                                parent_id=str(carrier["parent"]),
+                                start=t0,
+                                status="error",
+                                attempt=attempt + 1,
+                                outcome="crashed",
+                                error=type(exc).__name__,
+                            )
+                        )
                 self._respawn(pool)
                 if attempt >= self.retry.max_retries:
                     self.metrics.counter("jobs_abandoned").inc(n_jobs)
+                    for spans in crash_spans:
+                        if spans:
+                            spans[-1]["attrs"]["outcome"] = "abandoned"
                     raise WorkerCrashError(
                         f"dispatch abandoned after {attempt + 1} worker "
-                        f"crash(es): {type(exc).__name__}: {exc}"
+                        f"crash(es): {type(exc).__name__}: {exc}",
+                        per_job_spans=(
+                            crash_spans if any(crash_spans) else None
+                        ),
                     ) from exc
                 attempt += 1
                 self.metrics.counter("job_retries").inc(n_jobs)
                 await asyncio.sleep(self.retry.delay(attempt, self._rng))
 
+    @staticmethod
+    def _attach_crash_spans(result, crash_spans: list[list[dict]]) -> None:
+        """Merge dispatcher-side attempt spans into the successful results.
+
+        ``result`` is either one dict (optimal job) or the chunk's result
+        list; either way the crashed attempts join the ``_spans`` the
+        retried worker shipped home, so the retry is linked to the same
+        trace as the attempts it replaced.
+        """
+        if isinstance(result, dict):
+            if crash_spans and crash_spans[0]:
+                result.setdefault("_spans", []).extend(crash_spans[0])
+            return
+        for res, spans in zip(result, crash_spans):
+            if spans and isinstance(res, dict):
+                res.setdefault("_spans", []).extend(spans)
+
     async def _chunk_or_errors(self, chunk: list[dict]) -> list[dict]:
         """One schedule chunk; abandonment yields per-job error dicts."""
         try:
             return await self._dispatch_supervised(
-                solve_schedule_batch, chunk, len(chunk)
+                solve_schedule_batch, chunk, len(chunk), trace_jobs=chunk
             )
         except WorkerCrashError as exc:
-            return [{"error": str(exc), "abandoned": True} for _ in chunk]
+            per_job = exc.per_job_spans or [None] * len(chunk)
+            out: list[dict] = []
+            for spans in per_job:
+                err: dict = {"error": str(exc), "abandoned": True}
+                if spans:
+                    err["_spans"] = spans
+                out.append(err)
+            return out
 
     # -- public API ----------------------------------------------------------------
 
@@ -490,9 +668,14 @@ class SolveDispatcher:
 
     async def solve_optimal(self, job: dict) -> dict:
         try:
-            return await self._dispatch_supervised(solve_optimal_job, job, 1)
+            return await self._dispatch_supervised(
+                solve_optimal_job, job, 1, trace_jobs=[job]
+            )
         except WorkerCrashError as exc:
-            return {"error": str(exc), "abandoned": True}
+            err: dict = {"error": str(exc), "abandoned": True}
+            if exc.per_job_spans and exc.per_job_spans[0]:
+                err["_spans"] = exc.per_job_spans[0]
+            return err
 
     def shutdown(self) -> None:
         self._closed = True

@@ -30,6 +30,9 @@ import logging
 import signal
 import time
 
+from ..obs import context as obs
+from ..obs.prom import CONTENT_TYPE as _PROM_CONTENT_TYPE
+from ..obs.prom import render_prometheus
 from .batcher import MicroBatcher
 from .cache import PlanCache
 from .config import ServiceConfig
@@ -62,6 +65,16 @@ _STATUS_TEXT = {
     503: "Service Unavailable",
     504: "Gateway Timeout",
 }
+
+
+class _RawText:
+    """A pre-rendered non-JSON response body (Prometheus exposition)."""
+
+    __slots__ = ("text", "content_type")
+
+    def __init__(self, text: str, content_type: str):
+        self.text = text
+        self.content_type = content_type
 
 
 class SchedulingService:
@@ -97,6 +110,7 @@ class SchedulingService:
             f_max=self.config.f_max,
         )
         self._admit_lock = asyncio.Lock()
+        self._exporter: obs.JsonlExporter | None = None
         self._server: asyncio.base_events.Server | None = None
         self._connections: set[asyncio.StreamWriter] = set()
         self._in_progress = 0
@@ -124,6 +138,10 @@ class SchedulingService:
 
     async def start(self) -> None:
         self._started_at = time.monotonic()
+        if self.config.trace_path:
+            self._exporter = obs.JsonlExporter(
+                self.config.trace_path, self.config.trace_sample
+            )
         self._server = await asyncio.start_server(
             self._handle_conn, self.config.host, self.config.port
         )
@@ -162,6 +180,9 @@ class SchedulingService:
         )
         for writer in list(self._connections):  # idle keep-alive connections
             writer.close()
+        if self._exporter is not None:
+            self._exporter.close()
+            self._exporter = None
         self._server = None
         log.info("shutdown complete: %s", self.metrics.summary_line())
 
@@ -186,7 +207,7 @@ class SchedulingService:
                 if self._closing:
                     status, payload, keep_alive = 503, {"error": "shutting down"}, False
                 else:
-                    status, payload = await self._serve(method, path, body)
+                    status, payload = await self._serve(method, path, headers, body)
                 if self.injector is not None:
                     # chaos: hold the response, or sever the connection in
                     # place of writing it (the client sees a reset and may
@@ -240,12 +261,17 @@ class SchedulingService:
         return method.upper(), target, headers, body
 
     async def _write_response(
-        self, writer, status: int, payload: dict, keep_alive: bool
+        self, writer, status: int, payload, keep_alive: bool
     ) -> None:
-        data = json.dumps(payload).encode()
+        if isinstance(payload, _RawText):
+            data = payload.text.encode()
+            ctype = payload.content_type
+        else:
+            data = json.dumps(payload).encode()
+            ctype = "application/json"
         head = (
             f"HTTP/1.1 {status} {_STATUS_TEXT.get(status, 'Unknown')}\r\n"
-            f"Content-Type: application/json\r\n"
+            f"Content-Type: {ctype}\r\n"
             f"Content-Length: {len(data)}\r\n"
             f"Connection: {'keep-alive' if keep_alive else 'close'}\r\n"
             "\r\n"
@@ -255,7 +281,7 @@ class SchedulingService:
 
     # -- routing + robustness ------------------------------------------------------
 
-    async def _serve(self, method: str, path: str, body: bytes):
+    async def _serve(self, method: str, path: str, headers: dict, body: bytes):
         """Route one request, with shedding, deadline, and metrics wrapping."""
         route = self._routes.get((method, path))
         if route is None:
@@ -276,36 +302,69 @@ class SchedulingService:
         self._drained.clear()
         self.metrics.gauge("in_progress").set(self._in_progress)
         t0 = time.perf_counter()
-        try:
-            parsed = self._parse_body(body)
-            if isinstance(parsed, tuple):  # (status, payload) error short-circuit
-                status, payload = parsed
-            else:
+        # every routed request runs under a service.request root span (an
+        # `x-trace-id` header pins the trace id for client correlation);
+        # finished spans land in this capture buffer and feed the
+        # stage_ms:* histograms + the JSONL export
+        with obs.capture() as spans:
+            with obs.span(
+                "service.request",
+                trace_id=headers.get("x-trace-id") or None,
+                path=path,
+                method=method,
+            ) as root:
                 try:
-                    status, payload = await asyncio.wait_for(
-                        route(parsed), timeout=self.config.request_timeout
-                    )
-                except asyncio.TimeoutError:
-                    self.metrics.counter("timeout_total").inc()
-                    status, payload = 504, {
-                        "error": "deadline exceeded",
-                        "timeout_s": self.config.request_timeout,
-                    }
-        except ProtocolError as exc:
-            status, payload = 400, {"error": str(exc)}
-        except Exception as exc:  # noqa: BLE001 - one request must not kill the loop
-            log.exception("unhandled error serving %s %s", method, path)
-            status, payload = 500, {"error": f"{type(exc).__name__}: {exc}"}
-        finally:
-            self._in_progress -= 1
-            self.metrics.gauge("in_progress").set(self._in_progress)
-            if self._in_progress == 0:
-                self._drained.set()
+                    parsed = self._parse_body(body)
+                    if isinstance(parsed, tuple):  # (status, payload) short-circuit
+                        status, payload = parsed
+                    else:
+                        try:
+                            status, payload = await asyncio.wait_for(
+                                route(parsed, headers),
+                                timeout=self.config.request_timeout,
+                            )
+                        except asyncio.TimeoutError:
+                            self.metrics.counter("timeout_total").inc()
+                            status, payload = 504, {
+                                "error": "deadline exceeded",
+                                "timeout_s": self.config.request_timeout,
+                            }
+                except ProtocolError as exc:
+                    status, payload = 400, {"error": str(exc)}
+                except Exception as exc:  # noqa: BLE001 - must not kill the loop
+                    log.exception("unhandled error serving %s %s", method, path)
+                    status, payload = 500, {"error": f"{type(exc).__name__}: {exc}"}
+                finally:
+                    self._in_progress -= 1
+                    self.metrics.gauge("in_progress").set(self._in_progress)
+                    if self._in_progress == 0:
+                        self._drained.set()
+                root.set("http_status", status)
+                if status >= 500:
+                    root.status = "error"
+        self._ingest_spans(spans)
         self.metrics.histogram(f"latency_ms:{path}").observe(
             (time.perf_counter() - t0) * 1e3
         )
         self.metrics.counter(f"responses:{path}:{status}").inc()
         return status, payload
+
+    def _ingest_spans(self, spans: list[dict]) -> None:
+        """Fold a request's finished spans into histograms and the export.
+
+        Every span name becomes a ``stage_ms:<name>`` histogram series
+        (colons in names like ``solver:subinterval-der`` become dots so
+        the Prometheus renderer's label convention stays unambiguous), so
+        the per-stage latency breakdown is on ``GET /metrics`` even when
+        no trace file is configured.
+        """
+        for sp in spans:
+            name = sp["name"].replace(":", ".")
+            self.metrics.histogram(f"stage_ms:{name}").observe(
+                float(sp.get("dur_ms", 0.0))
+            )
+        if self._exporter is not None and spans:
+            self._exporter.export(spans)
 
     @staticmethod
     def _parse_body(body: bytes):
@@ -318,7 +377,16 @@ class SchedulingService:
 
     # -- endpoint handlers ---------------------------------------------------------
 
-    async def _handle_schedule(self, body: dict):
+    def _adopt_spans(self, result: dict) -> None:
+        """Move worker-shipped spans off a result dict onto this request.
+
+        Called before the result is cached or returned, so neither cached
+        plans nor response payloads ever carry the ``_spans`` sidecar.
+        """
+        for sp in result.pop("_spans", None) or ():
+            obs.emit(sp)
+
+    async def _handle_schedule(self, body: dict, _headers: dict):
         req = ScheduleRequest.from_body(
             body,
             default_m=self.config.m,
@@ -331,7 +399,9 @@ class SchedulingService:
         key = canonical_plan_key(tasks, req.m, req.power, req.solver)
         if not req.include_schedule:
             key += ":light"
-        cached = self.cache.get(key, PlanCache.MISS)
+        with obs.span("cache.probe") as probe:
+            cached = self.cache.get(key, PlanCache.MISS)
+            probe.set("hit", cached is not PlanCache.MISS)
         if cached is not PlanCache.MISS:
             self.metrics.counter("cache_hits").inc()
             return 200, {**cached, "cache_hit": True}
@@ -346,7 +416,9 @@ class SchedulingService:
             "include_schedule": req.include_schedule,
         }
         self._arm_degradation(job, req.solver)
+        job["_trace"] = obs.inject()
         result = await self.batcher.submit(job)
+        self._adopt_spans(result)
         if "error" in result:
             return self._error_status(result), {"error": result["error"]}
         if result.get("degraded"):
@@ -355,7 +427,7 @@ class SchedulingService:
         self.cache.put(key, result)
         return 200, {**result, "cache_hit": False}
 
-    async def _handle_admit(self, body: dict):
+    async def _handle_admit(self, body: dict, _headers: dict):
         req = AdmitRequest.from_body(body)
         async with self._admit_lock:  # admissions are stateful: serialize them
             if req.reset:
@@ -402,7 +474,7 @@ class SchedulingService:
         """HTTP status for a worker error dict (abandoned ⇒ retryable 503)."""
         return 503 if result.get("abandoned") else 500
 
-    async def _handle_optimal(self, body: dict):
+    async def _handle_optimal(self, body: dict, _headers: dict):
         req = OptimalRequest.from_body(
             body,
             default_m=self.config.m,
@@ -419,14 +491,32 @@ class SchedulingService:
             "solver": req.solver,
         }
         self._arm_degradation(job, req.canonical_solver)
+        job["_trace"] = obs.inject()
         result = await self.dispatcher.solve_optimal(job)
+        self._adopt_spans(result)
         if "error" in result:
             return self._error_status(result), {"error": result["error"]}
         if result.get("degraded"):
             self.metrics.counter("degraded_total").inc()
         return 200, result
 
-    async def _handle_metrics(self, _body: dict):
+    async def _handle_metrics(self, _body: dict, headers: dict):
+        accept = headers.get("accept", "").lower()
+        if "text/plain" in accept or "openmetrics" in accept:
+            # Prometheus scrape: text exposition with point-in-time extras
+            # the registry doesn't own (uptime, cache fill, batcher state)
+            extra = {
+                "uptime_seconds": round(time.monotonic() - self._started_at, 3),
+                "cache_entries": self.cache.stats()["size"],
+                "cache_capacity": self.cache.stats()["capacity"],
+                "batcher_batches": self.batcher.batches,
+                "batcher_jobs": self.batcher.jobs,
+                "batcher_pending": self.batcher.pending,
+                "pool_workers": self.dispatcher.workers,
+                "pool_dispatches": self.dispatcher.dispatch_count,
+            }
+            text = render_prometheus(self.metrics.snapshot(), extra_gauges=extra)
+            return 200, _RawText(text, _PROM_CONTENT_TYPE)
         return 200, {
             "uptime_s": round(time.monotonic() - self._started_at, 3),
             "metrics": self.metrics.snapshot(),
@@ -454,7 +544,7 @@ class SchedulingService:
             ),
         }
 
-    async def _handle_healthz(self, _body: dict):
+    async def _handle_healthz(self, _body: dict, _headers: dict):
         return 200, {
             "status": "ok",
             "uptime_s": round(time.monotonic() - self._started_at, 3),

@@ -1,0 +1,159 @@
+"""Span/context core: nesting, capture, carriers, sampling, JSONL export."""
+
+import json
+import time
+
+import pytest
+
+from repro.obs import context as obs
+
+
+class TestSpanBasics:
+    def test_nested_spans_share_trace_and_link_parents(self):
+        with obs.capture() as spans:
+            with obs.span("outer") as outer:
+                with obs.span("inner") as inner:
+                    pass
+        assert [s["name"] for s in spans] == ["inner", "outer"]
+        assert inner.trace_id == outer.trace_id
+        assert spans[0]["parent_id"] == outer.span_id
+        assert spans[1]["parent_id"] is None
+        assert all(s["dur_ms"] >= 0 for s in spans)
+
+    def test_span_without_capture_is_dropped(self):
+        with obs.span("unwatched") as sp:
+            pass
+        assert sp._done  # finished, just with nowhere to go
+        assert obs.emit({"name": "x"}) is False
+
+    def test_active_reflects_parent_or_buffer(self):
+        assert obs.active() is False
+        with obs.capture():
+            assert obs.active() is True
+        with obs.span("root"):
+            assert obs.active() is True
+        assert obs.active() is False
+
+    def test_exception_marks_error_status_and_reraises(self):
+        with obs.capture() as spans:
+            with pytest.raises(ValueError):
+                with obs.span("boom"):
+                    raise ValueError("nope")
+        assert spans[0]["status"] == "error"
+        assert spans[0]["attrs"]["exception"] == "ValueError"
+
+    def test_finish_is_idempotent(self):
+        with obs.capture() as spans:
+            with obs.span("once") as sp:
+                pass
+            assert sp.finish() is None
+        assert len(spans) == 1
+
+    def test_client_supplied_trace_id_pins_the_root(self):
+        tid = "ab" * 16
+        with obs.capture() as spans:
+            with obs.span("root", trace_id=tid):
+                with obs.span("child"):
+                    pass
+        assert all(s["trace_id"] == tid for s in spans)
+
+    def test_events_record_offsets_on_the_current_span(self):
+        with obs.capture() as spans:
+            with obs.span("solve"):
+                assert obs.add_event("ip.center", gap=0.5, newton=3) is True
+        events = spans[0]["attrs"]["events"]
+        assert events[0]["name"] == "ip.center"
+        assert events[0]["gap"] == 0.5
+        assert events[0]["t_ms"] >= 0
+        assert obs.add_event("orphan") is False
+
+
+class TestCarrier:
+    def test_inject_requires_a_current_span(self):
+        assert obs.inject() is None
+
+    def test_inject_activate_round_trip(self):
+        with obs.capture() as home:
+            with obs.span("request") as root:
+                carrier = obs.inject()
+        assert carrier["trace_id"] == root.trace_id
+        assert carrier["parent"] == root.span_id
+        assert carrier["enqueued_at"] <= time.time()
+
+        # "worker side": fresh context, same trace
+        with obs.capture() as worker_spans:
+            with obs.activate(carrier):
+                with obs.span("pool.solve"):
+                    pass
+        (sp,) = worker_spans
+        assert sp["trace_id"] == root.trace_id
+        assert sp["parent_id"] == root.span_id
+        assert home == [root.to_dict(0) | {"dur_ms": home[0]["dur_ms"]}]
+
+    def test_activate_none_is_a_no_op(self):
+        with obs.activate(None):
+            assert obs.current_span() is None
+            assert obs.active() is False
+
+    def test_manual_span_builds_finished_dict(self):
+        t0 = time.time() - 0.05
+        sp = obs.manual_span(
+            "batch.queue",
+            trace_id="ff" * 16,
+            parent_id="aa" * 8,
+            start=t0,
+            status="error",
+            outcome="crashed",
+        )
+        assert sp["name"] == "batch.queue"
+        assert sp["status"] == "error"
+        assert sp["attrs"]["outcome"] == "crashed"
+        assert 40 <= sp["dur_ms"] <= 5000  # ~50ms, generous upper bound
+        assert len(sp["span_id"]) == 16
+
+
+class TestSampling:
+    def test_edges(self):
+        assert obs.trace_sampled("ab" * 16, 1.0)
+        assert not obs.trace_sampled("ab" * 16, 0.0)
+
+    def test_deterministic_per_trace(self):
+        ids = [obs.new_trace_id() for _ in range(200)]
+        first = [obs.trace_sampled(t, 0.5) for t in ids]
+        again = [obs.trace_sampled(t, 0.5) for t in ids]
+        assert first == again
+        kept = sum(first)
+        assert 40 <= kept <= 160  # loose: it's a hash, not an RNG contract
+
+    def test_unparsable_foreign_ids_are_kept(self):
+        assert obs.trace_sampled("not-hex!", 0.5)
+
+
+class TestJsonlExporter:
+    def test_export_appends_one_span_per_line(self, tmp_path):
+        path = tmp_path / "spans.jsonl"
+        with obs.JsonlExporter(path) as ex:
+            n = ex.export([{"trace_id": "aa", "name": "x", "dur_ms": 1.0}])
+            n += ex.export([{"trace_id": "bb", "name": "y", "dur_ms": 2.0}])
+        assert n == 2
+        lines = path.read_text().splitlines()
+        assert [json.loads(ln)["name"] for ln in lines] == ["x", "y"]
+
+    def test_sampling_drops_whole_traces(self, tmp_path):
+        path = tmp_path / "spans.jsonl"
+        spans = [
+            {"trace_id": tid, "name": "a"}
+            for tid in (obs.new_trace_id() for _ in range(100))
+            for _ in range(2)  # two spans per trace
+        ]
+        with obs.JsonlExporter(path, sample=0.3) as ex:
+            ex.export(spans)
+            assert ex.exported + ex.dropped == 200
+            assert ex.exported % 2 == 0  # traces exported whole or not at all
+        kept = {json.loads(ln)["trace_id"] for ln in path.read_text().splitlines()}
+        for tid in kept:
+            assert obs.trace_sampled(tid, 0.3)
+
+    def test_bad_sample_rejected(self, tmp_path):
+        with pytest.raises(ValueError):
+            obs.JsonlExporter(tmp_path / "x.jsonl", sample=1.5)

@@ -1,0 +1,115 @@
+"""Profiling hooks and the unified ``repro solve --profile`` report."""
+
+import time
+from types import SimpleNamespace
+
+from repro.obs import context as obs
+from repro.obs.profile import format_solve_profile, profiled, span_tree_lines
+
+
+class TestProfiled:
+    def test_records_wall_and_cpu_onto_the_span(self):
+        with obs.capture() as spans:
+            with profiled("solver:kernel", solver="interior-point") as timer:
+                t0 = time.perf_counter()
+                while time.perf_counter() - t0 < 0.01:
+                    sum(range(200))  # keep a core busy
+        assert timer.wall_s >= 0.01
+        assert timer.cpu_s > 0
+        assert 0 < timer.cpu_fraction <= 8.0  # process_time sums all threads
+        (sp,) = spans
+        assert sp["name"] == "solver:kernel"
+        assert sp["attrs"]["solver"] == "interior-point"
+        assert sp["attrs"]["cpu_ms"] == round(timer.cpu_s * 1e3, 4)
+        assert sp["attrs"]["cpu_fraction"] == round(timer.cpu_fraction, 4)
+
+    def test_zero_wall_time_gives_zero_fraction(self):
+        from repro.obs.profile import ProfiledTimer
+
+        assert ProfiledTimer(name="x").cpu_fraction == 0.0
+
+    def test_exception_still_fills_the_timer(self):
+        with obs.capture() as spans:
+            try:
+                with profiled("boom") as timer:
+                    raise RuntimeError("nope")
+            except RuntimeError:
+                pass
+        assert timer.wall_s > 0
+        assert spans[0]["status"] == "error"
+        assert "cpu_ms" in spans[0]["attrs"]
+
+
+class TestSpanTreeLines:
+    def _spans(self):
+        return [
+            {"span_id": "a", "parent_id": None, "name": "engine.solve",
+             "start": 1.0, "dur_ms": 10.0,
+             "attrs": {"solver": "subinterval-der"}},
+            {"span_id": "b", "parent_id": "a", "name": "solver:subinterval-der",
+             "start": 1.001, "dur_ms": 8.0,
+             "attrs": {"cpu_ms": 7.5, "fused": True}},
+            {"span_id": "c", "parent_id": "missing", "name": "pool.attempt",
+             "start": 0.5, "dur_ms": 2.0, "status": "error",
+             "attrs": {"outcome": "crashed"}},
+        ]
+
+    def test_indentation_order_and_extras(self):
+        lines = span_tree_lines(self._spans())
+        assert len(lines) == 3
+        # orphan starts earlier → prints first at root level
+        assert lines[0].startswith("pool.attempt")
+        assert "ERROR" in lines[0]
+        assert lines[1].startswith("engine.solve")
+        assert "subinterval-der" in lines[1]
+        # child is indented under its parent, with cpu + fused markers
+        assert lines[2].startswith("  solver:subinterval-der")
+        assert "cpu 7.50 ms" in lines[2]
+        assert "fused" in lines[2]
+
+    def test_empty_capture_renders_nothing(self):
+        assert span_tree_lines([]) == []
+
+
+class TestFormatSolveProfile:
+    def _kernel_result(self):
+        return SimpleNamespace(
+            extras={
+                "kernel": "structured",
+                "newton_iterations": 12,
+                "dense_fallbacks": 0,
+                "newton_per_center": (4, 5, 3),
+                "factor_time_s": 0.002,
+                "polish_iters": 1,
+                "warm_started": True,
+            }
+        )
+
+    def test_all_three_sections_in_one_report(self):
+        spans = [
+            {"span_id": "e", "parent_id": None, "name": "engine.solve",
+             "start": 0.0, "dur_ms": 5.0,
+             "attrs": {
+                 "solver": "optimal:interior-point",
+                 "events": [
+                     {"name": "ip.center", "t_ms": 1.0, "gap": 1e-3,
+                      "newton": 4},
+                     {"name": "ip.center", "t_ms": 2.0, "gap": 1e-6,
+                      "newton": 5},
+                 ],
+             }},
+        ]
+        text = format_solve_profile(self._kernel_result(), spans)
+        assert text.startswith("profile:")
+        assert "kernel: structured" in text
+        assert "newton per centering step: [4, 5, 3]" in text
+        assert "interior-point centering path:" in text
+        assert "1.000e-03" in text
+        assert "span timings:" in text
+        assert "engine.solve" in text
+
+    def test_heuristic_solver_omits_kernel_and_centering(self):
+        text = format_solve_profile(SimpleNamespace(extras={}), [])
+        assert "no kernel diagnostics" in text
+        assert "centering path" not in text
+        assert "span timings:" not in text
