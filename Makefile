@@ -4,9 +4,9 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: check lint test bench bench-smoke serve-smoke solvers-smoke chaos-smoke obs-smoke
+.PHONY: check lint test bench bench-smoke serve-smoke solvers-smoke chaos-smoke obs-smoke incremental-smoke
 
-check: lint test solvers-smoke serve-smoke chaos-smoke obs-smoke bench-smoke
+check: lint test solvers-smoke incremental-smoke serve-smoke chaos-smoke obs-smoke bench-smoke
 
 lint:
 	@if command -v ruff >/dev/null 2>&1; then \
@@ -26,6 +26,12 @@ bench:
 # energy disagreement beyond 1e-9)
 bench-smoke:
 	$(PYTHON) -m benchmarks.bench_optimal_kernel --smoke
+
+# replay a seeded 500-event arrival/completion/advance stream through the
+# incremental session per policy; every delta plan must match a fresh batch
+# rebuild bit-for-bit and beat it by the soft 3x speedup gate
+incremental-smoke:
+	$(PYTHON) -m repro.core.incremental_smoke
 
 # boot the scheduling daemon on an ephemeral port, hit every endpoint once,
 # shut down gracefully

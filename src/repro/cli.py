@@ -255,6 +255,17 @@ def build_parser() -> argparse.ArgumentParser:
         "--admit-frac", type=float, default=0.0,
         help="fraction of requests sent to /admit",
     )
+    lg.add_argument(
+        "--admit-stream", action="store_true",
+        help=(
+            "replay one Poisson arrival stream of -n tasks through /admit "
+            "in release order (session-backed incremental admission)"
+        ),
+    )
+    lg.add_argument(
+        "--admit-rate", type=float, default=1.0,
+        help="Poisson arrival rate for --admit-stream (tasks per time unit)",
+    )
     lg.add_argument("-m", "--cores", type=int, default=4)
     lg.add_argument("--alpha", type=float, default=3.0)
     lg.add_argument("--static", type=float, default=0.1)
@@ -605,6 +616,8 @@ def _cmd_loadgen(args) -> int:
             include_schedule=args.include_schedule,
             seed=args.seed,
             chaos=args.chaos,
+            admit_stream=args.admit_stream,
+            admit_rate=args.admit_rate,
         )
     )
     print(_json.dumps(stats) if args.json else format_stats(stats))

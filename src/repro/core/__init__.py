@@ -13,6 +13,7 @@ from .allocation import (
     build_allocation_plan,
 )
 from .admission import AdmissionController, AdmissionDecision
+from .incremental import SESSION_METHODS, DeltaStats, ScheduleSession
 from .online import OnlineResult, OnlineSubintervalScheduler
 from .practical_scheduler import PracticalResult, PracticalScheduler
 from .theory import BoundReport, certify_instance, intermediate_even_bound
@@ -46,6 +47,9 @@ __all__ = [
     "build_allocation_plan",
     "OnlineResult",
     "OnlineSubintervalScheduler",
+    "ScheduleSession",
+    "DeltaStats",
+    "SESSION_METHODS",
     "BoundReport",
     "certify_instance",
     "intermediate_even_bound",

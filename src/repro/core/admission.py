@@ -14,6 +14,16 @@ exists **iff** those minimal demands are realizable
 exact, not a heuristic — and on acceptance the controller quotes the
 marginal energy of the updated S^F2 plan.
 
+The controller is a thin driver over an incremental
+:class:`~repro.core.incremental.ScheduleSession`: each accepted task is a
+single ``add_task`` delta (recomputing only the subintervals its window
+perturbs) instead of a full pipeline rebuild over every committed task.
+The session's plan is bit-identical to the batch rebuild, so the marginal
+energy quotes are unchanged; materializing the full updated
+:class:`~repro.core.scheduler.SchedulingResult` is optional
+(``materialize=False`` skips it for hot admit paths that only need the
+verdict and the quote).
+
 This is an extension module (the "easy to implement in practical systems"
 direction of §VI-D), built entirely from the paper's substrate.
 """
@@ -26,7 +36,8 @@ import numpy as np
 
 from ..optimal.flow import realize_demands
 from ..power.models import PolynomialPower
-from .scheduler import SchedulingResult, SubintervalScheduler
+from .incremental import ScheduleSession
+from .scheduler import SchedulingResult
 from .task import Task, TaskSet
 
 __all__ = ["AdmissionDecision", "AdmissionController"]
@@ -34,12 +45,19 @@ __all__ = ["AdmissionDecision", "AdmissionController"]
 
 @dataclass(frozen=True)
 class AdmissionDecision:
-    """Outcome of one admission test."""
+    """Outcome of one admission test.
+
+    ``touched_subintervals`` / ``total_subintervals`` report the delta cost
+    of an accepted task — how many subinterval allocations the arrival
+    actually perturbed out of the current plan's total (both 0 on reject).
+    """
 
     accepted: bool
     reason: str
     marginal_energy: float | None = None  # energy delta of the S^F2 plan
     schedule: SchedulingResult | None = None  # updated plan when accepted
+    touched_subintervals: int = 0
+    total_subintervals: int = 0
 
     def __repr__(self) -> str:
         verdict = "ACCEPT" if self.accepted else "REJECT"
@@ -79,7 +97,7 @@ class AdmissionController:
         self.power = power
         self.f_max = f_max
         self._committed: list[Task] = []
-        self._current_energy = 0.0
+        self._session = ScheduleSession(self.m, power, method="der")
 
     # -- inspection ------------------------------------------------------------------
 
@@ -91,7 +109,12 @@ class AdmissionController:
     @property
     def current_energy(self) -> float:
         """Energy of the current S^F2 plan over all committed tasks."""
-        return self._current_energy
+        return self._session.energy
+
+    @property
+    def session(self) -> ScheduleSession:
+        """The live incremental session holding the committed plan."""
+        return self._session
 
     def is_schedulable(self, tasks: TaskSet) -> bool:
         """Exact schedulability test under the frequency cap."""
@@ -104,10 +127,14 @@ class AdmissionController:
 
     # -- admission --------------------------------------------------------------------
 
-    def try_admit(self, task: Task) -> AdmissionDecision:
-        """Test ``task``; commit it and return the updated plan if it fits."""
-        candidate = TaskSet([*self._committed, task])
+    def try_admit(self, task: Task, materialize: bool = True) -> AdmissionDecision:
+        """Test ``task``; commit it and return the updated plan if it fits.
 
+        ``materialize=False`` skips building the full
+        :class:`~repro.core.scheduler.SchedulingResult` (the decision's
+        ``schedule`` stays ``None``), leaving the accept path a pure delta
+        update plus an energy quote.
+        """
         if self.f_max is not None:
             if task.work / self.f_max > task.window * (1 + 1e-12):
                 return AdmissionDecision(
@@ -117,6 +144,7 @@ class AdmissionController:
                         f"f_max={self.f_max:g} even in isolation"
                     ),
                 )
+            candidate = TaskSet([*self._committed, task])
             if not self.is_schedulable(candidate):
                 return AdmissionDecision(
                     accepted=False,
@@ -124,15 +152,23 @@ class AdmissionController:
                     "committed tasks plus this one",
                 )
 
-        plan = SubintervalScheduler(candidate, self.m, self.power).final("der")
-        marginal = plan.energy - self._current_energy
+        before = self._session.energy
+        handle = self._session.add_task(task)
+        stats = self._session.last_delta
+        try:
+            plan = self._session.result() if materialize else None
+        except Exception:
+            # materialization must never leave a half-committed plan behind
+            self._session.remove_task(handle)
+            raise
         self._committed.append(task)
-        self._current_energy = plan.energy
         return AdmissionDecision(
             accepted=True,
             reason="schedulable",
-            marginal_energy=marginal,
+            marginal_energy=self._session.energy - before,
             schedule=plan,
+            touched_subintervals=stats.touched if stats else 0,
+            total_subintervals=stats.total if stats else 0,
         )
 
     def admit_all(self, tasks) -> list[AdmissionDecision]:
@@ -142,4 +178,4 @@ class AdmissionController:
     def reset(self) -> None:
         """Drop all committed tasks."""
         self._committed.clear()
-        self._current_energy = 0.0
+        self._session = ScheduleSession(self.m, self.power, method="der")

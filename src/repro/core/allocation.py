@@ -45,6 +45,7 @@ __all__ = [
     "allocate_der",
     "allocate_proportional",
     "AllocationPlan",
+    "assemble_columns",
     "build_allocation_plan",
     "AllocationMethod",
 ]
@@ -225,14 +226,22 @@ def _waterfill_capped(
         return np.zeros((n, 0))
     T = m * delta
     # the number of capped tasks never exceeds m, so only the m + 1 largest
-    # weights per column matter: an O(n) partition instead of a full sort,
-    # and every cumulative matrix shrinks from n to m + 1 rows
+    # weights per column matter
     K = min(m + 1, n)
-    neg = np.partition(-w, K - 1, axis=0)[:K]
-    neg.sort(axis=0)
-    ws = -neg  # (K, H) descending top weights per column
-    wtot = w.sum(axis=0)
-    P = np.cumsum(ws, axis=0)
+    # Canonical summation: sort each column descending and take sequential
+    # cumulative sums.  Both the top-K prefix sums and the column total are
+    # then functions of the *multiset* of positive weights alone — zero
+    # (uncovered) rows trail the sort and cannot perturb any prefix.  A
+    # plain ``w.sum(axis=0)`` does not have this property: numpy's pairwise
+    # reduction regroups when the row count changes, shifting the total by
+    # an ulp, which would break bit-equality between a column computed at
+    # ``n`` rows and the same column spliced unchanged through an
+    # ``(n+1)``-row rebuild (see :mod:`repro.core.incremental`).
+    sw = -np.sort(-w, axis=0)  # (n, H) descending per column; zeros trail
+    csum = np.cumsum(sw, axis=0)
+    ws = sw[:K]  # (K, H) descending top weights per column
+    wtot = csum[-1]
+    P = csum[:K]
     prefix = np.vstack([np.zeros((1, H)), P[:-1]])  # weight removed before step k
     k = np.arange(K, dtype=np.float64)[:, None]
     # the remaining-pool clamp keeps the k = m row exactly true (0 <= 0)
@@ -258,16 +267,25 @@ def _waterfill_capped(
     return alloc
 
 
-def _assemble_vectorized(
-    timeline: Timeline,
+def assemble_columns(
+    cov: np.ndarray,
+    lengths: np.ndarray,
     m: int,
     base: str,
-    ideal: IdealSolution | None,
+    der: np.ndarray | None = None,
 ) -> np.ndarray:
-    """One batched pass over all subintervals (the hot path)."""
-    cov = timeline.coverage
-    lengths = timeline.lengths
-    counts = timeline.overlap_counts
+    """Batched per-column assembly of ``x`` over an arbitrary column subset.
+
+    The shared numeric kernel of the vectorized batch path and the
+    incremental :class:`~repro.core.incremental.ScheduleSession`: both feed
+    it a ``(n_tasks, k)`` coverage slice, the ``k`` column lengths, and (for
+    the DER policy) the matching ``(n_tasks, k)`` DER-weight slice.  Every
+    column is assembled independently — light columns grant the full length
+    to every covering task (Observation 2), heavy columns get the even split
+    or the Algorithm-2 water-filling — so recomputing only the columns a
+    delta touched produces bit-identical values to a full batch pass.
+    """
+    counts = cov.sum(axis=0)
     heavy = counts > m
 
     # Observation 2: light subintervals grant the full length to every
@@ -284,8 +302,8 @@ def _assemble_vectorized(
         x[:, heavy] = np.where(cov_h, np.minimum(m * d_h / n_h, d_h), 0.0)
         return x
 
-    assert ideal is not None
-    w = np.where(cov_h, ideal.der_matrix(timeline)[:, heavy], 0.0)
+    assert der is not None
+    w = np.where(cov_h, der[:, heavy], 0.0)
     alloc = _waterfill_capped(w, d_h, m)
     # all-zero-DER columns: proportional shares are undefined — even split,
     # mirroring allocate_proportional's fallback
@@ -295,6 +313,22 @@ def _assemble_vectorized(
         alloc[:, zero] = even[:, zero]
     x[:, heavy] = alloc
     return x
+
+
+def _assemble_vectorized(
+    timeline: Timeline,
+    m: int,
+    base: str,
+    ideal: IdealSolution | None,
+) -> np.ndarray:
+    """One batched pass over all subintervals (the hot path)."""
+    der = None
+    if base == "der":
+        assert ideal is not None
+        der = ideal.der_matrix(timeline)
+    return assemble_columns(
+        timeline.coverage, timeline.lengths, m, base, der
+    )
 
 
 def _assemble_scalar(

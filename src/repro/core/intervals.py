@@ -127,24 +127,76 @@ class Timeline:
         )
         cov.setflags(write=False)
         self._coverage = cov
-        # one nonzero pass + split instead of a flatnonzero per column
-        jj, ii = np.nonzero(cov.T)
-        groups = np.split(ii, np.searchsorted(jj, np.arange(1, cov.shape[1])))
-        self._subintervals: tuple[Subinterval, ...] = tuple(
-            Subinterval(j, float(s), float(e), tuple(ids.tolist()))
-            for j, (s, e, ids) in enumerate(zip(starts, ends, groups))
-        )
+        # Subinterval tuples are built lazily: the vectorized allocation and
+        # packing paths only ever touch boundaries/coverage arrays, and the
+        # per-column Python objects are by far the most expensive part of
+        # timeline construction on large instances
+        self._subintervals: tuple[Subinterval, ...] | None = None
+
+    @classmethod
+    def from_arrays(
+        cls, tasks: TaskSet, boundaries: np.ndarray, coverage: np.ndarray
+    ) -> Timeline:
+        """Splice-aware construction from prebuilt boundary/coverage arrays.
+
+        The incremental :class:`~repro.core.incremental.ScheduleSession`
+        maintains sorted boundaries and the coverage matrix across deltas;
+        this constructor reuses them directly instead of re-sorting event
+        times and recomputing the overlap mask from scratch.  Only cheap
+        shape/monotonicity invariants are verified — the caller guarantees
+        that ``boundaries`` is exactly ``tasks.event_times()`` (plus any
+        refinement points) and that ``coverage`` matches it.
+        """
+        boundaries = np.asarray(boundaries, dtype=np.float64)
+        coverage = np.asarray(coverage, dtype=bool)
+        if boundaries.ndim != 1 or boundaries.size < 2:
+            raise ValueError("boundaries must be a 1-d array of >= 2 points")
+        if np.any(np.diff(boundaries) <= 0):
+            raise ValueError("boundaries must be strictly increasing")
+        if coverage.shape != (len(tasks), boundaries.size - 1):
+            raise ValueError(
+                f"coverage shape {coverage.shape} does not match "
+                f"{len(tasks)} tasks x {boundaries.size - 1} subintervals"
+            )
+        obj = cls.__new__(cls)
+        boundaries = boundaries.copy()
+        boundaries.setflags(write=False)
+        coverage = coverage.copy()
+        coverage.setflags(write=False)
+        obj.tasks = tasks
+        obj.boundaries = boundaries
+        obj._coverage = coverage
+        obj._subintervals = None
+        return obj
+
+    @property
+    def subintervals(self) -> tuple[Subinterval, ...]:
+        """The materialized :class:`Subinterval` tuple (built on first use)."""
+        if self._subintervals is None:
+            starts = self.boundaries[:-1]
+            ends = self.boundaries[1:]
+            cov = self._coverage
+            # one nonzero pass + split instead of a flatnonzero per column
+            jj, ii = np.nonzero(cov.T)
+            groups = np.split(
+                ii, np.searchsorted(jj, np.arange(1, cov.shape[1]))
+            )
+            self._subintervals = tuple(
+                Subinterval(j, float(s), float(e), tuple(ids.tolist()))
+                for j, (s, e, ids) in enumerate(zip(starts, ends, groups))
+            )
+        return self._subintervals
 
     # -- container protocol -----------------------------------------------------
 
     def __len__(self) -> int:
-        return len(self._subintervals)
+        return self.boundaries.size - 1
 
     def __iter__(self) -> Iterator[Subinterval]:
-        return iter(self._subintervals)
+        return iter(self.subintervals)
 
     def __getitem__(self, j: int) -> Subinterval:
-        return self._subintervals[j]
+        return self.subintervals[j]
 
     def __repr__(self) -> str:
         return (
@@ -182,13 +234,13 @@ class Timeline:
         """Heavily overlapped subintervals for an ``m``-core processor."""
         if m < 1:
             raise ValueError("m must be >= 1")
-        return [s for s in self._subintervals if s.n_overlapping > m]
+        return [s for s in self.subintervals if s.n_overlapping > m]
 
     def light(self, m: int) -> list[Subinterval]:
         """Lightly overlapped subintervals for an ``m``-core processor."""
         if m < 1:
             raise ValueError("m must be >= 1")
-        return [s for s in self._subintervals if s.n_overlapping <= m]
+        return [s for s in self.subintervals if s.n_overlapping <= m]
 
     def max_overlap(self) -> int:
         """``max_j n_j`` — the peak number of simultaneously-ready tasks."""
@@ -200,10 +252,8 @@ class Timeline:
 
     def subintervals_of(self, task_id: int) -> list[Subinterval]:
         """All subintervals covered by task ``task_id``'s window."""
-        return [
-            self._subintervals[j]
-            for j in np.flatnonzero(self._coverage[task_id])
-        ]
+        subs = self.subintervals
+        return [subs[j] for j in np.flatnonzero(self._coverage[task_id])]
 
     def locate(self, t: float) -> int:
         """Index of the subinterval containing time ``t``.

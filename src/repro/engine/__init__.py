@@ -21,13 +21,16 @@ every frontend.  See ``docs/architecture.md`` for the layer diagram and
 the "how to add a solver" recipe.
 """
 
-from .contract import Platform, SolveRequest, SolveResult
+from .contract import EngineSession, Platform, SolveRequest, SolveResult
 from .registry import (
     SolverTimeoutError,
     UnknownSolverError,
     get_solver,
+    open_session,
     register,
+    resolve,
     resolve_name,
+    session_solver_names,
     solve,
     solver_names,
 )
@@ -39,6 +42,7 @@ __all__ = [
     "Platform",
     "SolveRequest",
     "SolveResult",
+    "EngineSession",
     "SolverTimeoutError",
     "UnknownSolverError",
     "get_solver",
@@ -46,4 +50,7 @@ __all__ = [
     "resolve_name",
     "solve",
     "solver_names",
+    "open_session",
+    "resolve",
+    "session_solver_names",
 ]

@@ -81,13 +81,18 @@ def _solve_online(req: SolveRequest, options: Mapping) -> SolveResult:
         req.platform.m,
         req.platform.power,
         method=options.get("method", "der"),
+        engine=options.get("engine", "session"),
     ).run()
     return SolveResult(
         solver="",
         kind="online",
         energy=res.energy,
         schedule=res.schedule,
-        extras={"replans": res.replans},
+        extras={
+            "replans": res.replans,
+            "touched_subintervals": res.touched_subintervals,
+            "total_subintervals": res.total_subintervals,
+        },
     )
 
 

@@ -169,6 +169,120 @@ def _make_tasksets(unique: int, n_tasks: int, seed: int) -> list[list[list[float
     return pool
 
 
+def _make_admit_stream(
+    n: int, seed: int, rate: float = 1.0
+) -> list[list[float]]:
+    """A Poisson arrival stream of paper-style tasks, in release order.
+
+    Interarrival times are exponential with the given ``rate``; work and
+    intensity follow the paper's workload menu, so the deadline windows
+    overlap heavily enough that successive admits genuinely perturb the
+    committed plan.
+    """
+    import numpy as np
+
+    from ..workloads.generator import intensity_menu
+
+    rng = np.random.default_rng(seed)
+    releases = np.cumsum(rng.exponential(1.0 / rate, size=n))
+    works = rng.uniform(10.0, 30.0, size=n)
+    intensities = rng.choice(intensity_menu(), size=n)
+    deadlines = releases + works / intensities
+    return [
+        [float(r), float(d), float(c)]
+        for r, d, c in zip(releases, deadlines, works)
+    ]
+
+
+async def _run_admit_stream(
+    host: str,
+    port: int,
+    *,
+    n_requests: int,
+    concurrency: int,
+    m: int,
+    alpha: float,
+    static: float,
+    seed: int,
+    admit_rate: float,
+) -> dict:
+    """Replay a Poisson arrival stream through ``POST /admit`` in order."""
+    stream = _make_admit_stream(n_requests, seed, admit_rate)
+    codec = HttpClient(host, port)
+    encoded = [
+        codec.encode_request(
+            "POST", "/admit",
+            {"task": task, "m": m, "alpha": alpha, "static": static},
+        )
+        for task in stream
+    ]
+
+    # the admission session is stateful: start from an empty committed set
+    await request_once(host, port, "POST", "/admit", {"reset": True, "m": m,
+                                                      "alpha": alpha,
+                                                      "static": static})
+
+    latencies: list[float] = []
+    statuses: dict[int, int] = {}
+    accepted = 0
+    rejected = 0
+    errors = 0
+    next_index = 0
+
+    def _claim() -> int | None:
+        nonlocal next_index
+        if next_index >= n_requests:
+            return None
+        next_index += 1
+        return next_index - 1
+
+    async def worker() -> None:
+        nonlocal errors, accepted, rejected
+        client = HttpClient(host, port)
+        await client.connect()
+        try:
+            while (i := _claim()) is not None:
+                t0 = time.perf_counter()
+                try:
+                    status, payload = await client.request_encoded(encoded[i])
+                except (ConnectionError, asyncio.IncompleteReadError, OSError):
+                    errors += 1
+                    await client.close()
+                    continue
+                latencies.append((time.perf_counter() - t0) * 1e3)
+                statuses[status] = statuses.get(status, 0) + 1
+                if status == 200:
+                    if payload.get("accepted"):
+                        accepted += 1
+                    else:
+                        rejected += 1
+        finally:
+            await client.close()
+
+    t_start = time.perf_counter()
+    await asyncio.gather(*(worker() for _ in range(min(concurrency, n_requests))))
+    elapsed = time.perf_counter() - t_start
+
+    return {
+        "requests": n_requests,
+        "concurrency": concurrency,
+        "elapsed_s": round(elapsed, 6),
+        "rps": round(n_requests / elapsed, 3) if elapsed > 0 else float("inf"),
+        "ok": statuses.get(200, 0),
+        "shed": statuses.get(429, 0),
+        "errors": errors,
+        "statuses": {str(k): v for k, v in sorted(statuses.items())},
+        "admit": {"accepted": accepted, "rejected": rejected},
+        "chaos": None,
+        "latency_ms": {
+            "mean": round(sum(latencies) / len(latencies), 4) if latencies else None,
+            "p50": round(percentile(latencies, 50), 4) if latencies else None,
+            "p95": round(percentile(latencies, 95), 4) if latencies else None,
+            "p99": round(percentile(latencies, 99), 4) if latencies else None,
+        },
+    }
+
+
 async def run_loadgen(
     host: str,
     port: int,
@@ -186,10 +300,31 @@ async def run_loadgen(
     include_schedule: bool = False,
     seed: int = 0,
     chaos: str = "",
+    admit_stream: bool = False,
+    admit_rate: float = 1.0,
 ) -> dict:
-    """Drive the daemon and return a stats dict (RPS, percentiles, statuses)."""
+    """Drive the daemon and return a stats dict (RPS, percentiles, statuses).
+
+    ``admit_stream=True`` switches to the incremental-admission workload:
+    a single Poisson arrival stream of ``n_requests`` tasks replayed in
+    release order through ``POST /admit`` (after a reset), exercising the
+    session-backed delta path the way ``/schedule`` traffic exercises the
+    batch path.
+    """
     if n_requests < 1 or concurrency < 1 or unique < 1:
         raise ValueError("n_requests, concurrency, unique must be >= 1")
+    if admit_stream:
+        return await _run_admit_stream(
+            host,
+            port,
+            n_requests=n_requests,
+            concurrency=concurrency,
+            m=m,
+            alpha=alpha,
+            static=static,
+            seed=seed,
+            admit_rate=admit_rate,
+        )
     spec = FaultSpec.parse(chaos)
     injector = FaultInjector(spec) if spec.malform_rate > 0 else None
     pool = _make_tasksets(unique, n_tasks, seed)
@@ -314,6 +449,11 @@ def format_stats(stats: dict) -> str:
         lines.append(
             f"latency:  mean {lat['mean']:.2f} ms  p50 {lat['p50']:.2f}  "
             f"p95 {lat['p95']:.2f}  p99 {lat['p99']:.2f}"
+        )
+    if stats.get("admit"):
+        admit = stats["admit"]
+        lines.append(
+            f"admit:    accepted {admit['accepted']}  rejected {admit['rejected']}"
         )
     if stats.get("chaos"):
         chaos = stats["chaos"]

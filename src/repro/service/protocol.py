@@ -185,13 +185,30 @@ class ScheduleRequest:
 
 @dataclass(frozen=True)
 class AdmitRequest:
-    """Parsed ``POST /admit`` body: one task for the admission controller."""
+    """Parsed ``POST /admit`` body: one task for the admission controller.
+
+    Platform knobs (``m``/``alpha``/``static``/``gamma``/``f_max``) are
+    optional overrides of the service defaults; the server keeps one
+    admission session per distinct platform, so requests naming different
+    platforms admit into independent committed plans.
+    """
 
     task: Task | None
     reset: bool
+    m: int
+    power: PolynomialPower
+    f_max: float | None
 
     @classmethod
-    def from_body(cls, body) -> "AdmitRequest":
+    def from_body(
+        cls,
+        body,
+        *,
+        default_m: int = 4,
+        default_alpha: float = 3.0,
+        default_static: float = 0.0,
+        default_f_max: float | None = None,
+    ) -> "AdmitRequest":
         if not isinstance(body, dict):
             raise ProtocolError("request body must be a JSON object")
         reset = body.get("reset", False)
@@ -202,7 +219,19 @@ class AdmitRequest:
             task = _parse_task_row(body["task"], 0)
         elif not reset:
             raise ProtocolError("missing required field 'task'")
-        return cls(task=task, reset=reset)
+        m = _get_number(body, "m", default_m, integer=True)
+        if m < 1:
+            raise ProtocolError(f"m must be >= 1, got {m}")
+        f_max = _get_number(body, "f_max", default_f_max)
+        if f_max is not None and f_max <= 0:
+            raise ProtocolError(f"f_max must be positive, got {f_max}")
+        return cls(
+            task=task,
+            reset=reset,
+            m=m,
+            power=_power_from(body, default_alpha, default_static),
+            f_max=f_max,
+        )
 
 
 @dataclass(frozen=True)

@@ -25,6 +25,8 @@ the loadgen client, not a general-purpose web server.
 from __future__ import annotations
 
 import asyncio
+import contextvars
+import functools
 import json
 import logging
 import signal
@@ -109,6 +111,13 @@ class SchedulingService:
             ),
             f_max=self.config.f_max,
         )
+        # one admission session per platform signature: /admit requests
+        # naming a different platform (m/alpha/static/gamma/f_max) get
+        # their own committed plan instead of clobbering the default one;
+        # the default platform maps to self.admission for compatibility
+        self._admission_pool: dict[tuple, AdmissionController] = {
+            self._default_platform_signature(): self.admission
+        }
         self._admit_lock = asyncio.Lock()
         self._exporter: obs.JsonlExporter | None = None
         self._server: asyncio.base_events.Server | None = None
@@ -427,21 +436,64 @@ class SchedulingService:
         self.cache.put(key, result)
         return 200, {**result, "cache_hit": False}
 
+    def _default_platform_signature(self) -> tuple:
+        from ..engine import Platform
+
+        return Platform.from_params(
+            m=self.config.m,
+            alpha=self.config.alpha,
+            static=self.config.static,
+            f_max=self.config.f_max,
+        ).signature()
+
+    def _admission_for(self, req: AdmitRequest):
+        """The per-platform admission session for one request (created lazily)."""
+        from ..engine import Platform
+
+        platform = Platform(m=req.m, power=req.power, f_max=req.f_max)
+        key = platform.signature()
+        controller = self._admission_pool.get(key)
+        if controller is None:
+            from ..core.admission import AdmissionController
+
+            controller = AdmissionController(
+                m=req.m, power=req.power, f_max=req.f_max
+            )
+            self._admission_pool[key] = controller
+        return controller
+
     async def _handle_admit(self, body: dict, _headers: dict):
-        req = AdmitRequest.from_body(body)
+        req = AdmitRequest.from_body(
+            body,
+            default_m=self.config.m,
+            default_alpha=self.config.alpha,
+            default_static=self.config.static,
+            default_f_max=self.config.f_max,
+        )
         async with self._admit_lock:  # admissions are stateful: serialize them
+            admission = self._admission_for(req)
             if req.reset:
-                self.admission.reset()
+                admission.reset()
             if req.task is None:
                 return 200, {
                     "reset": True,
-                    "committed": len(self.admission.committed or ()),
+                    "committed": len(admission.committed or ()),
                 }
+            # carry the request's trace context onto the executor thread so
+            # the session.delta spans the admit emits land on this request's
+            # capture buffer (and therefore the stage_ms histograms); the
+            # response never ships the full plan, so materialization is
+            # skipped and the accept path is a pure delta update
+            ctx = contextvars.copy_context()
             decision = await asyncio.get_running_loop().run_in_executor(
-                None, self.admission.try_admit, req.task
+                None,
+                ctx.run,
+                functools.partial(
+                    admission.try_admit, req.task, materialize=False
+                ),
             )
-            committed = len(self.admission.committed or ())
-            total_energy = self.admission.current_energy
+            committed = len(admission.committed or ())
+            total_energy = admission.current_energy
         self.metrics.counter(
             "admissions_accepted" if decision.accepted else "admissions_rejected"
         ).inc()
@@ -451,7 +503,9 @@ class SchedulingService:
             "marginal_energy": decision.marginal_energy,
             "committed": committed,
             "total_energy": total_energy,
-            "f_max": self.config.f_max,
+            "f_max": req.f_max,
+            "touched_subintervals": decision.touched_subintervals,
+            "total_subintervals": decision.total_subintervals,
         }
 
     def _arm_degradation(self, job: dict, canonical_solver: str) -> None:

@@ -1,0 +1,95 @@
+"""Engine session API: ``open_session`` / ``resolve`` against ``solve``."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import Task, TaskSet
+from repro.engine import (
+    EngineSession,
+    Platform,
+    SolveRequest,
+    open_session,
+    resolve,
+    session_solver_names,
+    solve,
+)
+from repro.power import PolynomialPower
+
+TASKS = TaskSet.from_tuples(
+    [(0.0, 10.0, 4.0), (2.0, 14.0, 5.0), (1.0, 12.0, 3.0), (11.0, 20.0, 6.0)]
+)
+PLATFORM = Platform(m=2, power=PolynomialPower(alpha=3.0, static=0.1))
+
+
+class TestOpenSession:
+    def test_session_capable_names(self):
+        names = session_solver_names()
+        assert "subinterval-even" in names
+        assert "subinterval-der" in names
+
+    @pytest.mark.parametrize("name", ["subinterval-der", "der", "subinterval-even"])
+    def test_open_resolves_aliases(self, name):
+        session = open_session(name, platform=PLATFORM)
+        assert isinstance(session, EngineSession)
+        assert session.solver in session_solver_names()
+        assert len(session) == 0
+
+    def test_default_platform(self):
+        session = open_session("subinterval-der")
+        assert session.platform == Platform()
+
+    def test_non_session_solver_rejected(self):
+        with pytest.raises(ValueError, match="session"):
+            open_session("naive")
+
+    def test_unknown_solver_rejected(self):
+        with pytest.raises(Exception):
+            open_session("no-such-solver")
+
+
+class TestResolve:
+    @pytest.mark.parametrize("name", ["subinterval-der", "subinterval-even"])
+    def test_resolve_matches_batch_solve(self, name):
+        session = open_session(name, platform=PLATFORM, tasks=TASKS)
+        incremental = resolve(session)
+        batch = solve(name, SolveRequest(tasks=TASKS, platform=PLATFORM))
+        assert incremental.energy == batch.energy
+        assert incremental.solver == batch.solver
+        assert list(incremental.schedule) == list(batch.schedule)
+
+    def test_resolve_after_deltas_matches_batch(self):
+        session = open_session("subinterval-der", platform=PLATFORM)
+        handles = [session.add_task(t) for t in TASKS]
+        session.remove_task(handles[2])
+        res = resolve(session)
+        remaining = TaskSet.from_tuples(
+            [(0.0, 10.0, 4.0), (2.0, 14.0, 5.0), (11.0, 20.0, 6.0)]
+        )
+        batch = solve(
+            "subinterval-der", SolveRequest(tasks=remaining, platform=PLATFORM)
+        )
+        assert res.energy == batch.energy
+
+    def test_resolve_extras(self):
+        session = open_session("subinterval-even", platform=PLATFORM, tasks=TASKS)
+        session.add_task(Task(3.0, 9.0, 1.0))
+        res = resolve(session)
+        assert res.extras["deltas_applied"] == len(TASKS) + 1
+        # lifetime aggregates across all deltas, not the current plan size
+        assert res.extras["total_subintervals"] == session.core.total_columns
+        assert res.extras["touched_subintervals"] == session.core.touched_columns
+        assert 0 < res.extras["touched_subintervals"]
+        assert len(res.extras["frequencies"]) == len(TASKS) + 1
+        assert res.wall_time_s >= 0.0
+
+    def test_session_passthroughs(self):
+        session = open_session("subinterval-der", platform=PLATFORM)
+        h = session.add_task(Task(0.0, 10.0, 4.0))
+        assert len(session) == 1
+        assert session.energy > 0.0
+        assert session.last_delta.op == "add_task"
+        assert 0.0 < session.touched_ratio <= 1.0
+        session.advance_to(1.0, works={h: 3.0})
+        session.complete_task(h)
+        assert len(session) == 0
