@@ -4,9 +4,9 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: check lint test bench bench-smoke serve-smoke solvers-smoke chaos-smoke obs-smoke incremental-smoke
+.PHONY: check lint test bench bench-smoke serve-smoke solvers-smoke chaos-smoke obs-smoke incremental-smoke shard-smoke
 
-check: lint test solvers-smoke incremental-smoke serve-smoke chaos-smoke obs-smoke bench-smoke
+check: lint test solvers-smoke incremental-smoke serve-smoke chaos-smoke obs-smoke shard-smoke bench-smoke
 
 lint:
 	@if command -v ruff >/dev/null 2>&1; then \
@@ -48,6 +48,12 @@ solvers-smoke:
 # jobs, bit-identical retries, visible degradation, and a bounded p99
 chaos-smoke:
 	$(PYTHON) -m repro.service.chaos --requests 60 --seed 7
+
+# 3-shard router + seeded schedule/admit mix: zero lost acks, merged
+# Prometheus scrape parses with per-shard labels, and the consistent-hash
+# /admit sessions are bit-equal to a 1-shard run
+shard-smoke:
+	$(PYTHON) -m repro.service.shard_smoke
 
 # traced daemon + loadgen: every scheduled trace must carry the complete
 # service→pool→engine→solver span chain, /metrics must expose parseable

@@ -235,6 +235,13 @@ def build_parser() -> argparse.ArgumentParser:
         "--trace-sample", type=float, default=1.0,
         help="fraction of traces exported (sampled per trace id)",
     )
+    v.add_argument(
+        "--shards", type=int, default=0,
+        help=(
+            "worker shard processes behind a front router "
+            "(0 = classic single-process daemon)"
+        ),
+    )
 
     # loadgen
     lg = sub.add_parser("loadgen", help="drive a running daemon with load")
@@ -283,6 +290,13 @@ def build_parser() -> argparse.ArgumentParser:
             "client-side fault injection, e.g. 'malform=0.1,seed=7' "
             "(replaces that fraction of requests with malformed payloads; "
             "each must come back 400)"
+        ),
+    )
+    lg.add_argument(
+        "--shards", action="store_true",
+        help=(
+            "after the run, scrape the target's merged /v1/metrics and "
+            "report per-shard request balance (sharded routers only)"
         ),
     )
     lg.add_argument("--json", action="store_true", help="print raw stats JSON")
@@ -576,12 +590,18 @@ def _cmd_serve(args) -> int:
             faults=args.chaos,
             trace_path=str(args.trace) if args.trace else "",
             trace_sample=args.trace_sample,
+            shards=args.shards,
         )
     except ValueError as exc:
         print(f"error: {exc}")
         return 2
     try:
-        asyncio.run(run_service(config))
+        if config.shards > 0:
+            from .service.router import run_sharded_service
+
+            asyncio.run(run_sharded_service(config))
+        else:
+            asyncio.run(run_service(config))
     except OSError as exc:
         if exc.errno == errno.EADDRINUSE:
             print(
@@ -618,6 +638,7 @@ def _cmd_loadgen(args) -> int:
             chaos=args.chaos,
             admit_stream=args.admit_stream,
             admit_rate=args.admit_rate,
+            shard_report=args.shards,
         )
     )
     print(_json.dumps(stats) if args.json else format_stats(stats))

@@ -32,6 +32,7 @@ from .registry import (
     resolve_name,
     session_solver_names,
     solve,
+    solver_catalog,
     solver_names,
 )
 
@@ -50,6 +51,7 @@ __all__ = [
     "resolve_name",
     "solve",
     "solver_names",
+    "solver_catalog",
     "open_session",
     "resolve",
     "session_solver_names",

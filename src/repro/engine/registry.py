@@ -33,6 +33,7 @@ __all__ = [
     "get_solver",
     "resolve_name",
     "solver_names",
+    "solver_catalog",
     "solve",
     "session_solver_names",
     "open_session",
@@ -173,6 +174,28 @@ SESSION_SOLVERS: dict[str, str] = {
 def session_solver_names() -> tuple[str, ...]:
     """Canonical names of the solvers that support ``open_session``."""
     return tuple(sorted(SESSION_SOLVERS))
+
+
+def solver_catalog() -> tuple[dict, ...]:
+    """Machine-readable registry listing (the ``GET /v1/solvers`` payload).
+
+    One entry per canonical solver name: the legacy aliases that resolve
+    to it, whether it is an exact ``optimal:*`` backend, and whether it
+    supports incremental sessions.  Clients should consume this instead of
+    hard-coding solver menus.
+    """
+    alias_map: dict[str, list[str]] = {}
+    for alias, target in ALIASES.items():
+        alias_map.setdefault(target, []).append(alias)
+    return tuple(
+        {
+            "name": name,
+            "aliases": sorted(alias_map.get(name, [])),
+            "optimal_only": name.startswith("optimal:"),
+            "session": name in SESSION_SOLVERS,
+        }
+        for name in solver_names()
+    )
 
 
 def open_session(

@@ -33,7 +33,12 @@ from __future__ import annotations
 
 import math
 
-__all__ = ["render_prometheus", "CONTENT_TYPE", "prom_name"]
+__all__ = [
+    "render_prometheus",
+    "render_prometheus_multi",
+    "CONTENT_TYPE",
+    "prom_name",
+]
 
 #: the Content-Type Prometheus scrapers expect for exposition format 0.0.4
 CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
@@ -118,35 +123,34 @@ class _FamilyWriter:
         return "\n".join(out) + "\n"
 
 
-def render_prometheus(
+def _add_snapshot(
+    w: _FamilyWriter,
     snapshot: dict,
-    *,
-    namespace: str = "repro",
-    extra_gauges: dict | None = None,
-) -> str:
-    """Render a registry snapshot in Prometheus text exposition format.
+    extra_gauges: dict | None,
+    const: list[tuple[str, str]],
+) -> None:
+    """Fold one registry snapshot into a family writer.
 
-    ``extra_gauges`` lets the caller fold in point-in-time numbers that
-    live outside the registry (uptime, cache entries, batcher backlog)
-    without mutating it; keys follow the same colon convention.
+    ``const`` label pairs are prefixed onto every series — the hook the
+    sharded router uses to stamp ``shard="<i>"`` onto each shard's
+    metrics while all shards share one TYPE/HELP header per family.
     """
-    w = _FamilyWriter(namespace)
-
     for name, value in snapshot.get("counters", {}).items():
         base, labels = _split_labels(name)
         if not base.endswith("_total"):
             base += "_total"
-        w.add(base, "counter", f"repro counter {name!r}", labels, value)
+        w.add(base, "counter", f"repro counter {name!r}", const + labels, value)
 
     for name, value in snapshot.get("gauges", {}).items():
         base, labels = _split_labels(name)
-        w.add(base, "gauge", f"repro gauge {name!r}", labels, value)
+        w.add(base, "gauge", f"repro gauge {name!r}", const + labels, value)
     for name, value in (extra_gauges or {}).items():
         base, labels = _split_labels(name)
-        w.add(base, "gauge", f"repro gauge {name!r}", labels, value)
+        w.add(base, "gauge", f"repro gauge {name!r}", const + labels, value)
 
     for name, snap in snapshot.get("histograms", {}).items():
         base, labels = _split_labels(name)
+        labels = const + labels
         help_text = f"repro histogram {name!r} (windowed quantiles)"
         for q, qlabel in _QUANTILES:
             w.add(
@@ -168,4 +172,45 @@ def render_prometheus(
             snap.get("window_len", 0),
         )
 
+
+def render_prometheus(
+    snapshot: dict,
+    *,
+    namespace: str = "repro",
+    extra_gauges: dict | None = None,
+    const_labels: dict | None = None,
+) -> str:
+    """Render a registry snapshot in Prometheus text exposition format.
+
+    ``extra_gauges`` lets the caller fold in point-in-time numbers that
+    live outside the registry (uptime, cache entries, batcher backlog)
+    without mutating it; keys follow the same colon convention.
+    ``const_labels`` are stamped onto every rendered series.
+    """
+    w = _FamilyWriter(namespace)
+    _add_snapshot(w, snapshot, extra_gauges, list((const_labels or {}).items()))
+    return w.render()
+
+
+def render_prometheus_multi(
+    sections: list[dict],
+    *,
+    namespace: str = "repro",
+) -> str:
+    """Merge several registry snapshots into one valid exposition page.
+
+    Each section is ``{"snapshot": ..., "extra_gauges": ...?, "labels":
+    ...?}``; all sections render through one family writer so a family
+    appearing in multiple sections (every shard has ``requests_total``)
+    prints its ``# HELP``/``# TYPE`` header exactly once — concatenating
+    per-shard pages would repeat headers, which scrapers reject.
+    """
+    w = _FamilyWriter(namespace)
+    for section in sections:
+        _add_snapshot(
+            w,
+            section.get("snapshot") or {},
+            section.get("extra_gauges"),
+            list((section.get("labels") or {}).items()),
+        )
     return w.render()

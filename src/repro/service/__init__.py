@@ -30,6 +30,15 @@ Architecture
   ``faults=`` config knob / ``repro serve --chaos`` / ``repro loadgen
   --chaos`` (see ``docs/robustness.md``).
 * :mod:`~repro.service.loadgen` is the async benchmarking client.
+* :mod:`~repro.service.shard` + :mod:`~repro.service.router` are the
+  scale-out tier (``repro serve --shards N``): a front router owning the
+  listen socket over N shard processes — stateless routes balanced by
+  least-outstanding, ``/admit`` placed by consistent hash of the platform
+  signature, shard death absorbed by respawn + admit-journal replay.
+
+Every endpoint is served both under the versioned ``/v1`` prefix (with
+the ``{"result", "meta"}`` response envelope and the unified error
+schema) and at the bare legacy path (deprecated shim; see ``docs/api.md``).
 """
 
 from .batcher import MicroBatcher
@@ -38,21 +47,29 @@ from .config import RetryPolicy, ServiceConfig
 from .faults import FaultInjector, FaultSpec
 from .metrics import Counter, Gauge, Histogram, MetricsRegistry
 from .protocol import (
+    API_VERSION,
     AdmitRequest,
     OptimalRequest,
     ProtocolError,
     ScheduleRequest,
     canonical_plan_key,
     canonicalize_tasks,
+    error_body,
+    flatten_legacy_error,
+    v1_envelope,
 )
+from .router import ShardRouter, run_sharded_service
 from .server import SchedulingService, run_service
+from .shard import HashRing, ShardManager, platform_key
 
 __all__ = [
+    "API_VERSION",
     "AdmitRequest",
     "Counter",
     "FaultInjector",
     "FaultSpec",
     "Gauge",
+    "HashRing",
     "Histogram",
     "MetricsRegistry",
     "MicroBatcher",
@@ -63,7 +80,14 @@ __all__ = [
     "ScheduleRequest",
     "SchedulingService",
     "ServiceConfig",
+    "ShardManager",
+    "ShardRouter",
     "canonical_plan_key",
     "canonicalize_tasks",
+    "error_body",
+    "flatten_legacy_error",
+    "platform_key",
     "run_service",
+    "run_sharded_service",
+    "v1_envelope",
 ]

@@ -94,6 +94,16 @@ class ServiceConfig:
     trace_sample:
         Fraction of traces exported, decided per trace id so span trees
         are never torn (:func:`repro.obs.context.trace_sampled`).
+    shards:
+        Worker shard processes behind a front router (``repro serve
+        --shards N``).  ``0`` runs the classic single-process daemon;
+        ``N >= 1`` boots a :class:`~repro.service.router.ShardRouter`
+        owning ``host:port`` with N :class:`SchedulingService` shard
+        processes behind it.
+    shard_id:
+        Identity of this process within a sharded deployment (stamped
+        into the ``/v1`` response ``meta`` and the merged metrics labels).
+        ``None`` outside sharded mode.
     """
 
     host: str = "127.0.0.1"
@@ -117,8 +127,14 @@ class ServiceConfig:
     faults: str = ""
     trace_path: str = ""
     trace_sample: float = 1.0
+    shards: int = 0
+    shard_id: int | None = None
 
     def __post_init__(self) -> None:
+        if self.shards < 0:
+            raise ValueError("shards must be >= 0 (0 = single process)")
+        if self.shard_id is not None and self.shard_id < 0:
+            raise ValueError("shard_id must be >= 0")
         if self.workers < 0:
             raise ValueError("workers must be >= 0")
         if self.batch_window < 0:

@@ -31,7 +31,13 @@ import time
 from .faults import FaultInjector, FaultSpec
 from .metrics import percentile
 
-__all__ = ["HttpClient", "request_once", "run_loadgen", "format_stats"]
+__all__ = [
+    "HttpClient",
+    "request_once",
+    "run_loadgen",
+    "format_stats",
+    "collect_shard_report",
+]
 
 
 class HttpClient:
@@ -89,6 +95,23 @@ class HttpClient:
             self.encode_request(method, path, payload, headers)
         )
 
+    async def request_full(
+        self,
+        method: str,
+        path: str,
+        payload: dict | None = None,
+        headers: dict | None = None,
+    ) -> tuple[int, dict, dict]:
+        """Like :meth:`request` but also returns the response headers.
+
+        For callers that assert on wire metadata — the ``Deprecation``
+        header of the legacy shims, content types, shard labels.
+        """
+        status, resp_headers, data = await self.request_raw(
+            self.encode_request(method, path, payload, headers)
+        )
+        return status, resp_headers, self._decode_body(resp_headers, data)
+
     async def request_encoded(
         self, data: bytes, decode: bool = True
     ) -> tuple[int, dict]:
@@ -97,21 +120,44 @@ class HttpClient:
         ``decode=False`` still reads the full body off the socket but skips
         ``json.loads`` — for drivers that only care about the status code.
         """
+        status, headers, body = await self.request_raw(data)
+        if not decode:
+            return status, {}
+        return status, self._decode_body(headers, body)
+
+    async def request_raw(
+        self, data: bytes
+    ) -> tuple[int, dict, bytes]:
+        """Send pre-encoded bytes; return (status, headers, raw body bytes).
+
+        The router's forwarding path: shard response bodies pass through
+        byte-for-byte, never re-serialized.  Reconnects transparently once
+        if the peer closed the keep-alive connection.
+        """
         if self._writer is None:
             await self.connect()
         try:
             self._writer.write(data)
             await self._writer.drain()
-            return await self._read_response(decode)
+            return await self._read_response()
         except (ConnectionError, asyncio.IncompleteReadError):
             # server closed the keep-alive connection: retry once, fresh
             await self.close()
             await self.connect()
             self._writer.write(data)
             await self._writer.drain()
-            return await self._read_response(decode)
+            return await self._read_response()
 
-    async def _read_response(self, decode: bool = True) -> tuple[int, dict]:
+    @staticmethod
+    def _decode_body(headers: dict, data: bytes) -> dict:
+        if not data:
+            return {}
+        # non-JSON bodies (e.g. a Prometheus exposition) come back raw
+        if "json" in headers.get("content-type", "application/json"):
+            return json.loads(data.decode())
+        return {"text": data.decode()}
+
+    async def _read_response(self) -> tuple[int, dict, bytes]:
         try:
             head = await self._reader.readuntil(b"\r\n\r\n")
         except asyncio.IncompleteReadError as exc:
@@ -125,17 +171,9 @@ class HttpClient:
                 headers[name.strip().lower()] = value.strip()
         length = int(headers.get("content-length", "0") or "0")
         data = await self._reader.readexactly(length) if length else b""
-        if data and decode:
-            # non-JSON bodies (e.g. a Prometheus exposition) come back raw
-            if "json" in headers.get("content-type", "application/json"):
-                payload = json.loads(data.decode())
-            else:
-                payload = {"text": data.decode()}
-        else:
-            payload = {}
         if headers.get("connection", "").lower() == "close":
             await self.close()
-        return status, payload
+        return status, headers, data
 
 
 async def request_once(
@@ -153,6 +191,44 @@ async def request_once(
         return await client.request(method, path, payload, headers)
     finally:
         await client.close()
+
+
+async def collect_shard_report(host: str, port: int) -> dict | None:
+    """Per-shard balance summary scraped from a router's merged metrics.
+
+    Returns ``None`` against a single-process daemon (whose ``/metrics``
+    page has no ``shards`` section) or when the scrape fails — shard
+    reporting degrades to absent, never to an error.
+    """
+    try:
+        status, page = await request_once(host, port, "GET", "/v1/metrics")
+    except (ConnectionError, OSError, asyncio.IncompleteReadError):
+        return None
+    if status != 200 or not isinstance(page, dict):
+        return None
+    body = page.get("result", page)
+    shards = body.get("shards")
+    router = body.get("router")
+    if not isinstance(shards, dict) or not isinstance(router, dict):
+        return None
+    per_shard = {}
+    for sid in sorted(shards, key=int):
+        counters = (shards[sid].get("metrics") or {}).get("counters", {})
+        per_shard[sid] = {
+            "requests": sum(
+                v for k, v in counters.items()
+                if k.startswith("requests_total:")
+            ),
+            "admits": counters.get("requests_total:/admit", 0)
+            + counters.get("requests_total:/v1/admit", 0),
+        }
+    router_counters = (router.get("metrics") or {}).get("counters", {})
+    return {
+        "count": router.get("shards"),
+        "respawns": router_counters.get("shard_respawns_total", 0),
+        "admit_replays": router_counters.get("admit_replays_total", 0),
+        "per_shard": per_shard,
+    }
 
 
 def _make_tasksets(unique: int, n_tasks: int, seed: int) -> list[list[list[float]]]:
@@ -302,6 +378,7 @@ async def run_loadgen(
     chaos: str = "",
     admit_stream: bool = False,
     admit_rate: float = 1.0,
+    shard_report: bool = False,
 ) -> dict:
     """Drive the daemon and return a stats dict (RPS, percentiles, statuses).
 
@@ -310,11 +387,15 @@ async def run_loadgen(
     release order through ``POST /admit`` (after a reset), exercising the
     session-backed delta path the way ``/schedule`` traffic exercises the
     batch path.
+
+    ``shard_report=True`` scrapes the target's merged metrics after the
+    run and attaches a per-shard request-balance section (sharded routers
+    only; silently absent against a single-process daemon).
     """
     if n_requests < 1 or concurrency < 1 or unique < 1:
         raise ValueError("n_requests, concurrency, unique must be >= 1")
     if admit_stream:
-        return await _run_admit_stream(
+        stats = await _run_admit_stream(
             host,
             port,
             n_requests=n_requests,
@@ -325,6 +406,9 @@ async def run_loadgen(
             seed=seed,
             admit_rate=admit_rate,
         )
+        if shard_report:
+            stats["shards"] = await collect_shard_report(host, port)
+        return stats
     spec = FaultSpec.parse(chaos)
     injector = FaultInjector(spec) if spec.malform_rate > 0 else None
     pool = _make_tasksets(unique, n_tasks, seed)
@@ -409,7 +493,9 @@ async def run_loadgen(
 
     ok = statuses.get(200, 0)
     malformed_sent = sum(malformed_statuses.values())
+    shards = await collect_shard_report(host, port) if shard_report else None
     return {
+        **({"shards": shards} if shard_report else {}),
         "requests": n_requests,
         "concurrency": concurrency,
         "elapsed_s": round(elapsed, 6),
@@ -461,5 +547,14 @@ def format_stats(stats: dict) -> str:
             f"chaos:    spec [{chaos['spec']}]  malformed sent "
             f"{chaos['malformed_sent']}  rejected(400) {chaos['malformed_rejected']}"
             f"  statuses {chaos['malformed_statuses']}"
+        )
+    if stats.get("shards"):
+        sh = stats["shards"]
+        balance = "  ".join(
+            f"shard{k}:{v['requests']}" for k, v in sh["per_shard"].items()
+        )
+        lines.append(
+            f"shards:   {sh['count']}  respawns {sh['respawns']}  "
+            f"replays {sh['admit_replays']}  {balance}"
         )
     return "\n".join(lines)

@@ -24,10 +24,16 @@ from ..io.taskio import taskset_from_json
 from ..power.models import PolynomialPower
 
 __all__ = [
+    "API_VERSION",
+    "ERROR_CODES",
     "ProtocolError",
     "ScheduleRequest",
     "AdmitRequest",
     "OptimalRequest",
+    "error_body",
+    "flatten_legacy_error",
+    "is_error_body",
+    "v1_envelope",
     "parse_tasks_field",
     "canonical_order",
     "canonicalize_tasks",
@@ -35,6 +41,71 @@ __all__ = [
     "schedule_methods",
     "optimal_solvers",
 ]
+
+#: the one wire API version this server speaks under the ``/v1`` prefix
+API_VERSION = "v1"
+
+#: machine-readable error codes of the unified ``/v1`` error schema,
+#: mapped to the HTTP status each one travels with
+ERROR_CODES = {
+    "bad_request": 400,
+    "invalid_json": 400,
+    "unknown_solver": 400,
+    "not_found": 404,
+    "method_not_allowed": 405,
+    "payload_too_large": 413,
+    "overloaded": 429,
+    "internal": 500,
+    "shutting_down": 503,
+    "abandoned": 503,
+    "bad_gateway": 502,
+    "deadline_exceeded": 504,
+}
+
+
+def error_body(code: str, message: str, detail: dict | None = None) -> dict:
+    """The one error payload every endpoint produces.
+
+    ``/v1`` routes ship it verbatim (inside the response envelope) as
+    ``{"error": {"code", "message", "detail"?}}``; the legacy shims
+    flatten it through :func:`flatten_legacy_error` so pre-v1 clients
+    keep seeing the historical string-valued ``error`` field.
+    """
+    err: dict = {"code": code, "message": message}
+    if detail:
+        err["detail"] = detail
+    return {"error": err}
+
+
+def is_error_body(payload) -> bool:
+    """True when ``payload`` is an :func:`error_body` product."""
+    return isinstance(payload, dict) and isinstance(payload.get("error"), dict)
+
+
+def flatten_legacy_error(payload: dict) -> dict:
+    """Unified error → the historical flat shape of the unprefixed routes.
+
+    ``{"error": "<message>", **detail}`` — detail keys (``max_inflight``,
+    ``timeout_s``, …) land at the top level exactly where legacy clients
+    and the pre-v1 test suite expect them.
+    """
+    err = payload["error"]
+    out = {"error": err["message"]}
+    for key, value in (err.get("detail") or {}).items():
+        out.setdefault(key, value)
+    return out
+
+
+def v1_envelope(payload, meta: dict) -> dict:
+    """Wrap one endpoint payload in the ``/v1`` response envelope.
+
+    Successes become ``{"result": ..., "meta": ...}``; unified errors keep
+    their ``error`` key alongside the same ``meta`` block, so every ``/v1``
+    response — success or failure — carries the envelope.
+    """
+    if is_error_body(payload):
+        return {"error": payload["error"], "meta": meta}
+    return {"result": payload, "meta": meta}
 
 
 def schedule_methods() -> tuple[str, ...]:
@@ -60,18 +131,44 @@ def _resolve_solver(name, *, field: str, optimal_only: bool) -> str:
         canonical = resolve_name(name)
     except UnknownSolverError as exc:
         raise ProtocolError(
-            f"unknown {field} {name!r}; registered solvers: {', '.join(menu)}"
+            f"unknown {field} {name!r}; registered solvers: {', '.join(menu)} "
+            f"(discover the full catalog via GET /v1/solvers)",
+            code="unknown_solver",
+            detail={
+                "field": field,
+                "requested": name,
+                "solvers": list(menu),
+                "discovery": "GET /v1/solvers",
+            },
         ) from exc
     if optimal_only and not canonical.startswith("optimal:"):
         raise ProtocolError(
             f"{field} {name!r} is not an exact solver; this endpoint accepts: "
-            f"{', '.join(menu)}"
+            f"{', '.join(menu)} (discover the full catalog via GET /v1/solvers)",
+            code="unknown_solver",
+            detail={
+                "field": field,
+                "requested": name,
+                "solvers": list(menu),
+                "discovery": "GET /v1/solvers",
+            },
         )
     return canonical
 
 
 class ProtocolError(ValueError):
-    """A malformed request body; maps to HTTP 400."""
+    """A malformed request body; maps to HTTP 400.
+
+    Carries the machine-readable ``code`` (and optional ``detail`` dict)
+    that :func:`error_body` ships on the ``/v1`` error schema.
+    """
+
+    def __init__(
+        self, message: str, *, code: str = "bad_request", detail: dict | None = None
+    ):
+        super().__init__(message)
+        self.code = code
+        self.detail = detail
 
 
 def _parse_task_row(row, index: int) -> Task:
@@ -191,6 +288,11 @@ class AdmitRequest:
     optional overrides of the service defaults; the server keeps one
     admission session per distinct platform, so requests naming different
     platforms admit into independent committed plans.
+
+    ``peek=True`` asks for a read-only snapshot of the platform's current
+    committed plan (boundaries, allocation matrix, energy) without
+    admitting anything — the bit-equality probe the sharding equivalence
+    checks compare across deployments.
     """
 
     task: Task | None
@@ -198,6 +300,7 @@ class AdmitRequest:
     m: int
     power: PolynomialPower
     f_max: float | None
+    peek: bool = False
 
     @classmethod
     def from_body(
@@ -214,10 +317,15 @@ class AdmitRequest:
         reset = body.get("reset", False)
         if not isinstance(reset, bool):
             raise ProtocolError("reset must be a boolean")
+        peek = body.get("peek", False)
+        if not isinstance(peek, bool):
+            raise ProtocolError("peek must be a boolean")
+        if peek and (reset or "task" in body):
+            raise ProtocolError("peek is read-only: omit 'task' and 'reset'")
         task = None
         if "task" in body:
             task = _parse_task_row(body["task"], 0)
-        elif not reset:
+        elif not reset and not peek:
             raise ProtocolError("missing required field 'task'")
         m = _get_number(body, "m", default_m, integer=True)
         if m < 1:
@@ -231,6 +339,7 @@ class AdmitRequest:
             m=m,
             power=_power_from(body, default_alpha, default_static),
             f_max=f_max,
+            peek=peek,
         )
 
 

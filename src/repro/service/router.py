@@ -1,0 +1,641 @@
+"""The front router of the sharded serving tier (``repro serve --shards N``).
+
+One asyncio process owns the public listen socket and fans requests out
+to N shard processes (:mod:`repro.service.shard`), each a complete
+:class:`~repro.service.server.SchedulingService`:
+
+* **stateless traffic** (``/schedule``, ``/optimal``, ``/solvers``) is
+  balanced by least-outstanding across live shards; shard 429s pass
+  through, and when *every* shard is saturated the router sheds itself
+  with an aggregated 429 (``max_inflight = shards × per-shard bound``),
+* **stateful traffic** (``/admit``) is placed by consistent hash of the
+  request's platform signature (:func:`~repro.service.shard.platform_key`),
+  so each admission session lives on exactly one shard and its delta
+  stream is bit-identical to a single-process deployment,
+* **shard death** is absorbed: the failed shard is respawned in place
+  (same ring position) and its admission sessions are rebuilt by
+  replaying the router's journal of acknowledged admits before the
+  triggering request is retried,
+* **observability** is merged: ``GET /metrics`` aggregates every shard's
+  JSON page under per-shard keys, the Prometheus exposition renders all
+  shards plus the router through one family writer with ``shard="<i>"``
+  labels, and the router forwards/creates ``x-trace-id`` so shard-side
+  spans join the same trace as the router's ``router.request`` span.
+
+Forwarded responses pass through **byte-for-byte** (no re-serialization),
+so a ``/v1`` payload served through the router is exactly what the shard
+produced — envelope, ``meta.shard`` and all.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import logging
+import signal
+import time
+
+from ..obs import context as obs
+from ..obs.prom import CONTENT_TYPE as _PROM_CONTENT_TYPE
+from ..obs.prom import render_prometheus_multi
+from .config import ServiceConfig
+from .loadgen import HttpClient, request_once
+from .metrics import MetricsRegistry
+from .protocol import (
+    API_VERSION,
+    error_body,
+    flatten_legacy_error,
+    is_error_body,
+    v1_envelope,
+)
+from .shard import HashRing, ShardManager, platform_key
+
+__all__ = ["ShardRouter", "run_sharded_service"]
+
+log = logging.getLogger("repro.service.router")
+
+_STATUS_TEXT = {
+    200: "OK",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    413: "Payload Too Large",
+    429: "Too Many Requests",
+    500: "Internal Server Error",
+    502: "Bad Gateway",
+    503: "Service Unavailable",
+    504: "Gateway Timeout",
+}
+
+_MAX_BODY = 16 * 1024 * 1024
+
+#: request headers the router forwards to shards (plus x-trace-id, which
+#: it always sets so spans stitch across the process hop)
+_FORWARD_HEADERS = ("accept", "content-type")
+
+
+class ShardRouter:
+    """Listen-socket owner + request fan-out for a sharded deployment."""
+
+    def __init__(self, config: ServiceConfig, shards: int | None = None):
+        n = shards if shards is not None else config.shards
+        if n < 1:
+            raise ValueError("a sharded deployment needs shards >= 1")
+        self.config = config
+        self.n = int(n)
+        self.metrics = MetricsRegistry()
+        self.manager = ShardManager(config, self.n)
+        self.ring = HashRing(range(self.n))
+        self._outstanding = [0] * self.n
+        self._rr = 0  # least-outstanding tie-breaker
+        self._admit_lock = asyncio.Lock()
+        # platform key → ordered acknowledged /admit bodies; replayed onto
+        # a respawned shard to rebuild its admission sessions
+        self._journal: dict[str, list[dict]] = {}
+        self._server: asyncio.base_events.Server | None = None
+        self._connections: set[asyncio.StreamWriter] = set()
+        self._closing = False
+        self._started_at = 0.0
+        self._bases = {"/schedule", "/admit", "/optimal", "/metrics", "/healthz"}
+        self._routable: set[tuple[str, str]] = set()
+        for method, base in (
+            ("POST", "/schedule"),
+            ("POST", "/admit"),
+            ("POST", "/optimal"),
+            ("GET", "/metrics"),
+            ("GET", "/healthz"),
+        ):
+            self._routable.add((method, base))
+            self._routable.add((method, f"/{API_VERSION}{base}"))
+        self._routable.add(("GET", f"/{API_VERSION}/solvers"))
+
+    # -- lifecycle -----------------------------------------------------------------
+
+    @property
+    def port(self) -> int:
+        if self._server is None:
+            raise RuntimeError("router is not running")
+        return self._server.sockets[0].getsockname()[1]
+
+    async def start(self) -> None:
+        self._started_at = time.monotonic()
+        await self.manager.start()  # shards first: never accept before ready
+        self._server = await asyncio.start_server(
+            self._handle_conn, self.config.host, self.config.port
+        )
+        log.info(
+            "router listening on %s:%d (%d shards: %s)",
+            self.config.host,
+            self.port,
+            self.n,
+            ", ".join(str(self.manager.get(i).port) for i in range(self.n)),
+        )
+
+    async def stop(self) -> None:
+        self._closing = True
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        for writer in list(self._connections):
+            writer.close()
+        # let per-connection tasks unwind (and close their shard clients)
+        # before the shards those clients talk to are torn down
+        deadline = time.monotonic() + 1.0
+        while self._connections and time.monotonic() < deadline:
+            await asyncio.sleep(0.01)
+        await self.manager.stop()
+        self._server = None
+        log.info("router shutdown complete: %s", self.metrics.summary_line())
+
+    # -- HTTP plumbing (mirrors server.py's minimal HTTP/1.1 subset) ---------------
+
+    async def _handle_conn(self, reader, writer) -> None:
+        self._connections.add(writer)
+        clients: dict[int, HttpClient] = {}  # per-connection shard clients
+        try:
+            while True:
+                request = await self._read_request(reader, writer)
+                if request is None:
+                    break
+                method, path, headers, body = request
+                keep_alive = headers.get("connection", "").lower() != "close"
+                if self._closing:
+                    keep_alive = False
+                    status, payload, extra = self._shape(
+                        503, error_body("shutting_down", "shutting down"), path
+                    )
+                    await self._write_json(
+                        writer, status, payload, keep_alive, extra
+                    )
+                else:
+                    await self._serve(
+                        writer, clients, method, path, headers, body, keep_alive
+                    )
+                if not keep_alive:
+                    break
+        except (ConnectionError, asyncio.IncompleteReadError,
+                asyncio.LimitOverrunError):
+            pass  # client went away mid-request
+        finally:
+            self._connections.discard(writer)
+            for client in clients.values():
+                await client.close()
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError, asyncio.CancelledError):
+                pass
+
+    async def _read_request(self, reader, writer):
+        try:
+            head = await reader.readuntil(b"\r\n\r\n")
+        except asyncio.IncompleteReadError as exc:
+            if not exc.partial:
+                return None
+            raise
+        lines = head.decode("latin-1").split("\r\n")
+        try:
+            method, target, _version = lines[0].split()
+        except ValueError:
+            await self._write_json(
+                writer,
+                400,
+                flatten_legacy_error(
+                    error_body("bad_request", "malformed request line")
+                ),
+                False,
+            )
+            return None
+        headers: dict[str, str] = {}
+        for raw in lines[1:]:
+            if ":" in raw:
+                name, _, value = raw.partition(":")
+                headers[name.strip().lower()] = value.strip()
+        length = int(headers.get("content-length", "0") or "0")
+        if length > _MAX_BODY:
+            status, payload, extra = self._shape(
+                413, error_body("payload_too_large", "body too large"), target
+            )
+            await self._write_json(writer, status, payload, False, extra)
+            return None
+        body = await reader.readexactly(length) if length else b""
+        return method.upper(), target, headers, body
+
+    async def _write_json(
+        self, writer, status, payload, keep_alive, extra_headers=None
+    ) -> None:
+        if isinstance(payload, tuple):  # (text, content_type) raw response
+            data = payload[0].encode()
+            ctype = payload[1]
+        else:
+            data = json.dumps(payload).encode()
+            ctype = "application/json"
+        await self._write_raw(
+            writer, status, ctype, data, keep_alive, extra_headers
+        )
+
+    async def _write_raw(
+        self, writer, status, ctype, data, keep_alive, extra_headers=None
+    ) -> None:
+        extra = "".join(
+            f"{k}: {v}\r\n" for k, v in (extra_headers or {}).items()
+        )
+        head = (
+            f"HTTP/1.1 {status} {_STATUS_TEXT.get(status, 'Unknown')}\r\n"
+            f"Content-Type: {ctype}\r\n"
+            f"Content-Length: {len(data)}\r\n"
+            f"Connection: {'keep-alive' if keep_alive else 'close'}\r\n"
+            f"{extra}"
+            "\r\n"
+        ).encode("latin-1")
+        writer.write(head + data)
+        await writer.drain()
+
+    # -- response shaping (router-originated responses only) -----------------------
+
+    def _shape(self, status, payload, path, trace_id=None):
+        """Dress a router-originated payload for the path's wire dialect."""
+        if path.startswith(f"/{API_VERSION}/"):
+            meta = {
+                "api_version": API_VERSION,
+                "solver": None,
+                "shard": "router",
+                "trace_id": trace_id,
+            }
+            return status, v1_envelope(payload, meta), None
+        if is_error_body(payload):
+            payload = flatten_legacy_error(payload)
+        extra = None
+        if path in self._bases:
+            extra = {
+                "Deprecation": "true",
+                "Link": f'</{API_VERSION}{path}>; rel="successor-version"',
+            }
+        return status, payload, extra
+
+    # -- routing -------------------------------------------------------------------
+
+    @staticmethod
+    def _base_path(path: str) -> str:
+        prefix = f"/{API_VERSION}"
+        return path[len(prefix):] if path.startswith(prefix + "/") else path
+
+    def _pick_stateless(self) -> int:
+        """Least-outstanding live shard (round-robin tie-break)."""
+        alive = [
+            i for i in range(self.n)
+            if self.manager.shards[i] is not None and self.manager.get(i).alive
+        ]
+        if not alive:
+            alive = list(range(self.n))  # all dead: forwarding will respawn
+        self._rr += 1
+        return min(
+            alive,
+            key=lambda i: (self._outstanding[i], (i - self._rr) % self.n),
+        )
+
+    def _all_saturated(self) -> bool:
+        return all(
+            self._outstanding[i] >= self.config.max_inflight
+            for i in range(self.n)
+        )
+
+    async def _serve(
+        self, writer, clients, method, path, headers, body, keep_alive
+    ) -> None:
+        if (method, path) not in self._routable:
+            known = {p for (_, p) in self._routable}
+            status = 405 if path in known else 404
+            code = "method_not_allowed" if status == 405 else "not_found"
+            status, payload, extra = self._shape(
+                status, error_body(code, f"no route {method} {path}"), path
+            )
+            await self._write_json(writer, status, payload, keep_alive, extra)
+            return
+
+        self.metrics.counter(f"requests_total:{path}").inc()
+        base = self._base_path(path)
+        t0 = time.perf_counter()
+        with obs.capture() as spans:
+            with obs.span(
+                "router.request",
+                trace_id=headers.get("x-trace-id") or None,
+                path=path,
+                method=method,
+            ) as root:
+                if base == "/metrics":
+                    status, payload, extra = await self._merged_metrics(
+                        path, headers, root.trace_id
+                    )
+                    await self._write_json(
+                        writer, status, payload, keep_alive, extra
+                    )
+                elif base == "/healthz":
+                    status, payload, extra = self._shape(
+                        200, self._health_payload(), path, root.trace_id
+                    )
+                    await self._write_json(
+                        writer, status, payload, keep_alive, extra
+                    )
+                elif self._all_saturated():
+                    self.metrics.counter("shed_total").inc()
+                    status = 429
+                    s, payload, extra = self._shape(
+                        429,
+                        error_body(
+                            "overloaded",
+                            "all shards overloaded",
+                            {
+                                "max_inflight": self.n
+                                * self.config.max_inflight,
+                                "shards": self.n,
+                            },
+                        ),
+                        path,
+                        root.trace_id,
+                    )
+                    await self._write_json(writer, s, payload, keep_alive, extra)
+                else:
+                    status = await self._forward(
+                        writer,
+                        clients,
+                        method,
+                        path,
+                        headers,
+                        body,
+                        keep_alive,
+                        root,
+                    )
+                root.set("http_status", status)
+        for sp in spans:
+            self.metrics.histogram(
+                f"stage_ms:{sp['name'].replace(':', '.')}"
+            ).observe(float(sp.get("dur_ms", 0.0)))
+        self.metrics.histogram(f"latency_ms:{path}").observe(
+            (time.perf_counter() - t0) * 1e3
+        )
+        self.metrics.counter(f"responses:{path}:{status}").inc()
+
+    # -- forwarding ----------------------------------------------------------------
+
+    def _encode_forward(self, method, path, headers, body, trace_id) -> bytes:
+        fwd = {
+            k: headers[k] for k in _FORWARD_HEADERS if k in headers
+        }
+        fwd["x-trace-id"] = trace_id
+        extra = "".join(f"{k}: {v}\r\n" for k, v in fwd.items())
+        head = (
+            f"{method} {path} HTTP/1.1\r\n"
+            f"Host: 127.0.0.1\r\n"
+            f"Content-Length: {len(body)}\r\n"
+            f"{extra}"
+            "\r\n"
+        ).encode("latin-1")
+        return head + body
+
+    async def _shard_client(self, clients, shard_id: int) -> HttpClient:
+        shard = self.manager.get(shard_id)
+        client = clients.get(shard_id)
+        if client is None or client.port != shard.port:
+            if client is not None:  # stale: shard was respawned on a new port
+                await client.close()
+            client = HttpClient("127.0.0.1", shard.port)
+            clients[shard_id] = client
+        return client
+
+    async def _forward(
+        self, writer, clients, method, path, headers, body, keep_alive, root
+    ) -> int:
+        base = self._base_path(path)
+        is_admit = base == "/admit"
+        admit_body = None
+        if is_admit:
+            try:
+                admit_body = json.loads(body.decode()) if body else {}
+            except (UnicodeDecodeError, json.JSONDecodeError):
+                admit_body = None  # shard answers the 400; any shard will do
+            key = platform_key(admit_body, self.config)
+            shard_id = self.ring.lookup(key)
+        else:
+            shard_id = self._pick_stateless()
+        root.set("shard", shard_id)
+        data = self._encode_forward(method, path, headers, body, root.trace_id)
+
+        if is_admit:
+            # admissions are stateful: serialize them router-wide so the
+            # journal order matches shard processing order exactly (the
+            # same global serialization the single-process daemon applies)
+            async with self._admit_lock:
+                result = await self._dispatch(clients, shard_id, data, is_admit)
+                if result is not None and admit_body is not None:
+                    self._journal_admit(key, admit_body, result[0])
+        else:
+            result = await self._dispatch(clients, shard_id, data, is_admit)
+
+        if result is None:
+            status, payload, extra = self._shape(
+                502,
+                error_body(
+                    "bad_gateway",
+                    f"shard {shard_id} unavailable",
+                    {"shard": shard_id},
+                ),
+                path,
+                root.trace_id,
+            )
+            await self._write_json(writer, status, payload, keep_alive, extra)
+            return 502
+
+        status, resp_headers, resp_body = result
+        self.metrics.counter(f"routed:shard-{shard_id}").inc()
+        fwd_headers = {}
+        if "deprecation" in resp_headers:
+            fwd_headers["Deprecation"] = resp_headers["deprecation"]
+        if "link" in resp_headers:
+            fwd_headers["Link"] = resp_headers["link"]
+        await self._write_raw(
+            writer,
+            status,
+            resp_headers.get("content-type", "application/json"),
+            resp_body,
+            keep_alive,
+            fwd_headers or None,
+        )
+        return status
+
+    async def _dispatch(
+        self, clients, shard_id: int, data: bytes, is_admit: bool
+    ):
+        """One forward with shard-death recovery; None when all retries fail."""
+        self._outstanding[shard_id] += 1
+        try:
+            for attempt in (1, 2):
+                client = await self._shard_client(clients, shard_id)
+                try:
+                    return await client.request_raw(data)
+                except (ConnectionError, OSError,
+                        asyncio.IncompleteReadError):
+                    await client.close()
+                    if attempt == 2:
+                        return None
+                    await self._recover_shard(shard_id, is_admit)
+        finally:
+            self._outstanding[shard_id] -= 1
+        return None  # pragma: no cover - loop always returns
+
+    async def _recover_shard(self, shard_id: int, holding_admit_lock: bool):
+        """Respawn a dead shard and replay its admission sessions."""
+        shard = self.manager.shards[shard_id]
+        if shard is not None and shard.alive:
+            return  # transient connection error, not a death: just retry
+        self.metrics.counter("shard_respawns_total").inc()
+        await self.manager.respawn(shard_id)
+        if holding_admit_lock:
+            await self._replay(shard_id)
+        else:
+            async with self._admit_lock:
+                await self._replay(shard_id)
+
+    async def _replay(self, shard_id: int) -> None:
+        """Re-admit every journaled body owned by ``shard_id`` (in order).
+
+        The per-platform admit sequence is deterministic, so replaying it
+        verbatim rebuilds each session bit-for-bit: the same tasks are
+        accepted with the same plans (rejected entries reject again and
+        change nothing).
+        """
+        shard = self.manager.get(shard_id)
+        replayed = 0
+        for key, bodies in self._journal.items():
+            if self.ring.lookup(key) != shard_id or not bodies:
+                continue
+            for body in bodies:
+                status, _ = await request_once(
+                    "127.0.0.1", shard.port, "POST", "/admit", body
+                )
+                if status != 200:  # pragma: no cover - deterministic replay
+                    log.error(
+                        "replay of admit onto shard %d answered %d",
+                        shard_id, status,
+                    )
+                replayed += 1
+        if replayed:
+            self.metrics.counter("admit_replays_total").inc(replayed)
+            log.warning(
+                "shard %d: replayed %d journaled admits", shard_id, replayed
+            )
+
+    def _journal_admit(self, key: str, body: dict, status: int) -> None:
+        if status != 200 or body.get("peek"):
+            return  # failed or read-only: no state to rebuild later
+        if body.get("reset") and "task" not in body:
+            self._journal[key] = []
+            return
+        self._journal.setdefault(key, []).append(body)
+
+    # -- merged observability ------------------------------------------------------
+
+    async def _shard_metrics_page(self, shard_id: int):
+        shard = self.manager.shards[shard_id]
+        if shard is None or not shard.alive:
+            return None
+        try:
+            status, page = await request_once(
+                "127.0.0.1", shard.port, "GET", "/metrics"
+            )
+        except (ConnectionError, OSError, asyncio.IncompleteReadError):
+            return None
+        return page if status == 200 else None
+
+    def _shard_status(self) -> list[dict]:
+        out = []
+        for i in range(self.n):
+            shard = self.manager.shards[i]
+            out.append(
+                {
+                    "id": i,
+                    "port": shard.port if shard is not None else None,
+                    "alive": bool(shard is not None and shard.alive),
+                    "restarts": shard.restarts if shard is not None else 0,
+                    "outstanding": self._outstanding[i],
+                }
+            )
+        return out
+
+    def _health_payload(self) -> dict:
+        from .. import __version__
+
+        statuses = self._shard_status()
+        return {
+            "status": "ok" if all(s["alive"] for s in statuses) else "degraded",
+            "uptime_s": round(time.monotonic() - self._started_at, 3),
+            "version": __version__,
+            "shards": statuses,
+        }
+
+    async def _merged_metrics(self, path, headers, trace_id):
+        pages = await asyncio.gather(
+            *(self._shard_metrics_page(i) for i in range(self.n))
+        )
+        accept = headers.get("accept", "").lower()
+        uptime = round(time.monotonic() - self._started_at, 3)
+        if "text/plain" in accept or "openmetrics" in accept:
+            # one family writer across every section: a family present on
+            # all shards prints its HELP/TYPE header exactly once
+            sections = [
+                {
+                    "snapshot": self.metrics.snapshot(),
+                    "labels": {"shard": "router"},
+                    "extra_gauges": {
+                        "uptime_seconds": uptime,
+                        "shards": self.n,
+                    },
+                }
+            ]
+            for i, page in enumerate(pages):
+                if page is None:
+                    continue
+                sections.append(
+                    {
+                        "snapshot": page.get("metrics") or {},
+                        "labels": {"shard": str(i)},
+                        "extra_gauges": {
+                            "uptime_seconds": page.get("uptime_s", 0.0)
+                        },
+                    }
+                )
+            text = render_prometheus_multi(sections)
+            return 200, (text, _PROM_CONTENT_TYPE), None
+        payload = {
+            "uptime_s": uptime,
+            "router": {
+                "shards": self.n,
+                "metrics": self.metrics.snapshot(),
+                "shard_status": self._shard_status(),
+            },
+            "shards": {
+                str(i): page for i, page in enumerate(pages) if page is not None
+            },
+        }
+        return self._shape(200, payload, path, trace_id)
+
+
+async def run_sharded_service(config: ServiceConfig, shards: int | None = None):
+    """Run a router + N shards until SIGINT/SIGTERM, then drain and stop."""
+    router = ShardRouter(config, shards)
+    await router.start()
+    stop = asyncio.Event()
+    loop = asyncio.get_running_loop()
+    for sig in (signal.SIGINT, signal.SIGTERM):
+        try:
+            loop.add_signal_handler(sig, stop.set)
+        except NotImplementedError:  # pragma: no cover - non-Unix platforms
+            pass
+    print(
+        f"repro.service router listening on "
+        f"http://{router.config.host}:{router.port} ({router.n} shards)"
+    )
+    try:
+        await stop.wait()
+    finally:
+        await router.stop()

@@ -42,12 +42,17 @@ from .faults import FaultInjector
 from .metrics import MetricsRegistry
 from .pool import SolveDispatcher
 from .protocol import (
+    API_VERSION,
     AdmitRequest,
     OptimalRequest,
     ProtocolError,
     ScheduleRequest,
     canonical_order,
     canonical_plan_key,
+    error_body,
+    flatten_legacy_error,
+    is_error_body,
+    v1_envelope,
 )
 
 __all__ = ["SchedulingService", "run_service"]
@@ -64,6 +69,7 @@ _STATUS_TEXT = {
     413: "Payload Too Large",
     429: "Too Many Requests",
     500: "Internal Server Error",
+    502: "Bad Gateway",
     503: "Service Unavailable",
     504: "Gateway Timeout",
 }
@@ -128,13 +134,25 @@ class SchedulingService:
         self._closing = False
         self._started_at = 0.0
         self._log_task: asyncio.Task | None = None
-        self._routes = {
-            ("POST", "/schedule"): self._handle_schedule,
-            ("POST", "/admit"): self._handle_admit,
-            ("POST", "/optimal"): self._handle_optimal,
-            ("GET", "/metrics"): self._handle_metrics,
-            ("GET", "/healthz"): self._handle_healthz,
-        }
+        # route table: (method, path) → (handler, api flavor).  Every
+        # endpoint is served under the versioned "/v1" prefix; the bare
+        # legacy paths stay as thin shims (same handlers) that flatten
+        # errors to the historical shape and answer with a Deprecation
+        # header, so pre-v1 clients keep working unchanged.
+        self._routes: dict[tuple[str, str], tuple] = {}
+        for method, base, handler in (
+            ("POST", "/schedule", self._handle_schedule),
+            ("POST", "/admit", self._handle_admit),
+            ("POST", "/optimal", self._handle_optimal),
+            ("GET", "/metrics", self._handle_metrics),
+            ("GET", "/healthz", self._handle_healthz),
+        ):
+            self._routes[(method, base)] = (handler, "legacy")
+            self._routes[(method, f"/{API_VERSION}{base}")] = (handler, "v1")
+        self._routes[("GET", f"/{API_VERSION}/solvers")] = (
+            self._handle_solvers,
+            "v1",
+        )
 
     # -- lifecycle -----------------------------------------------------------------
 
@@ -189,6 +207,11 @@ class SchedulingService:
         )
         for writer in list(self._connections):  # idle keep-alive connections
             writer.close()
+        # let the loop deliver the EOFs so per-connection tasks unwind
+        # cleanly instead of being cancelled mid-read at loop teardown
+        deadline = time.monotonic() + 1.0
+        while self._connections and time.monotonic() < deadline:
+            await asyncio.sleep(0.01)
         if self._exporter is not None:
             self._exporter.close()
             self._exporter = None
@@ -213,10 +236,16 @@ class SchedulingService:
                     break
                 method, path, headers, body = request
                 keep_alive = headers.get("connection", "").lower() != "close"
+                extra_headers = None
                 if self._closing:
-                    status, payload, keep_alive = 503, {"error": "shutting down"}, False
+                    keep_alive = False
+                    status, payload, extra_headers = self._shape(
+                        503, error_body("shutting_down", "shutting down"), path
+                    )
                 else:
-                    status, payload = await self._serve(method, path, headers, body)
+                    status, payload, extra_headers = await self._serve(
+                        method, path, headers, body
+                    )
                 if self.injector is not None:
                     # chaos: hold the response, or sever the connection in
                     # place of writing it (the client sees a reset and may
@@ -225,7 +254,9 @@ class SchedulingService:
                     if self.injector.should_drop():
                         self.metrics.counter("faults_dropped_responses").inc()
                         break
-                await self._write_response(writer, status, payload, keep_alive)
+                await self._write_response(
+                    writer, status, payload, keep_alive, extra_headers
+                )
                 if not keep_alive:
                     break
         except (ConnectionError, asyncio.IncompleteReadError, asyncio.LimitOverrunError):
@@ -254,7 +285,12 @@ class SchedulingService:
             method, target, _version = lines[0].split()
         except ValueError:
             await self._write_response(
-                writer, 400, {"error": "malformed request line"}, False
+                writer,
+                400,
+                flatten_legacy_error(
+                    error_body("bad_request", "malformed request line")
+                ),
+                False,
             )
             return None
         headers: dict[str, str] = {}
@@ -264,13 +300,21 @@ class SchedulingService:
                 headers[name.strip().lower()] = value.strip()
         length = int(headers.get("content-length", "0") or "0")
         if length > _MAX_BODY:
-            await self._write_response(writer, 413, {"error": "body too large"}, False)
+            status, payload, extra = self._shape(
+                413, error_body("payload_too_large", "body too large"), target
+            )
+            await self._write_response(writer, status, payload, False, extra)
             return None
         body = await reader.readexactly(length) if length else b""
         return method.upper(), target, headers, body
 
     async def _write_response(
-        self, writer, status: int, payload, keep_alive: bool
+        self,
+        writer,
+        status: int,
+        payload,
+        keep_alive: bool,
+        extra_headers: dict | None = None,
     ) -> None:
         if isinstance(payload, _RawText):
             data = payload.text.encode()
@@ -278,11 +322,15 @@ class SchedulingService:
         else:
             data = json.dumps(payload).encode()
             ctype = "application/json"
+        extra = "".join(
+            f"{k}: {v}\r\n" for k, v in (extra_headers or {}).items()
+        )
         head = (
             f"HTTP/1.1 {status} {_STATUS_TEXT.get(status, 'Unknown')}\r\n"
             f"Content-Type: {ctype}\r\n"
             f"Content-Length: {len(data)}\r\n"
             f"Connection: {'keep-alive' if keep_alive else 'close'}\r\n"
+            f"{extra}"
             "\r\n"
         ).encode("latin-1")
         writer.write(head + data)
@@ -290,22 +338,81 @@ class SchedulingService:
 
     # -- routing + robustness ------------------------------------------------------
 
+    _LEGACY_PATHS = frozenset(
+        {"/schedule", "/admit", "/optimal", "/metrics", "/healthz"}
+    )
+
+    def _api_flavor(self, path: str) -> str:
+        """Which wire dialect a path speaks: versioned ``v1`` or legacy."""
+        return "v1" if path.startswith(f"/{API_VERSION}/") else "legacy"
+
+    def _meta(self, payload, trace_id: str | None) -> dict:
+        """The ``meta`` block every ``/v1`` response carries."""
+        meta = {
+            "api_version": API_VERSION,
+            "solver": None,
+            "shard": self.config.shard_id,
+            "trace_id": trace_id,
+        }
+        if isinstance(payload, dict) and not is_error_body(payload):
+            meta["solver"] = payload.get("solver") or payload.get("method")
+            if payload.get("degraded_from"):
+                meta["degraded_from"] = payload["degraded_from"]
+        return meta
+
+    def _shape(
+        self, status: int, payload, path: str, trace_id: str | None = None
+    ):
+        """Dress one endpoint payload for the wire dialect ``path`` speaks.
+
+        ``/v1`` responses get the envelope (``result``/``error`` + ``meta``);
+        legacy responses get unified errors flattened back to the
+        historical string-``error`` shape plus a ``Deprecation`` header
+        pointing at the versioned successor.  Raw text (the Prometheus
+        exposition) passes through untouched — it is its own contract.
+        """
+        if isinstance(payload, _RawText):
+            return status, payload, None
+        if self._api_flavor(path) == "v1":
+            return status, v1_envelope(payload, self._meta(payload, trace_id)), None
+        if is_error_body(payload):
+            payload = flatten_legacy_error(payload)
+        extra = None
+        if path in self._LEGACY_PATHS:
+            extra = {
+                "Deprecation": "true",
+                "Link": f'</{API_VERSION}{path}>; rel="successor-version"',
+            }
+        return status, payload, extra
+
     async def _serve(self, method: str, path: str, headers: dict, body: bytes):
         """Route one request, with shedding, deadline, and metrics wrapping."""
         route = self._routes.get((method, path))
         if route is None:
-            known = {"/schedule", "/admit", "/optimal", "/metrics", "/healthz"}
+            known = {p for (_, p) in self._routes}
             status = 405 if path in known else 404
-            return status, {"error": f"no route {method} {path}"}
+            code = "method_not_allowed" if status == 405 else "not_found"
+            return self._shape(
+                status, error_body(code, f"no route {method} {path}"), path
+            )
+        handler, flavor = route
+        if flavor == "legacy":
+            self.metrics.counter("legacy_requests_total").inc()
 
         self.metrics.counter(f"requests_total:{path}").inc()
         if self._in_progress >= self.config.max_inflight:
             self.metrics.counter("shed_total").inc()
             self.metrics.counter(f"responses:{path}:429").inc()
-            return 429, {
-                "error": "overloaded",
-                "max_inflight": self.config.max_inflight,
-            }
+            return self._shape(
+                429,
+                error_body(
+                    "overloaded",
+                    "overloaded",
+                    {"max_inflight": self.config.max_inflight},
+                ),
+                path,
+                headers.get("x-trace-id") or None,
+            )
 
         self._in_progress += 1
         self._drained.clear()
@@ -329,20 +436,25 @@ class SchedulingService:
                     else:
                         try:
                             status, payload = await asyncio.wait_for(
-                                route(parsed, headers),
+                                handler(parsed, headers),
                                 timeout=self.config.request_timeout,
                             )
                         except asyncio.TimeoutError:
                             self.metrics.counter("timeout_total").inc()
-                            status, payload = 504, {
-                                "error": "deadline exceeded",
-                                "timeout_s": self.config.request_timeout,
-                            }
+                            status, payload = 504, error_body(
+                                "deadline_exceeded",
+                                "deadline exceeded",
+                                {"timeout_s": self.config.request_timeout},
+                            )
                 except ProtocolError as exc:
-                    status, payload = 400, {"error": str(exc)}
+                    status, payload = 400, error_body(
+                        exc.code, str(exc), exc.detail
+                    )
                 except Exception as exc:  # noqa: BLE001 - must not kill the loop
                     log.exception("unhandled error serving %s %s", method, path)
-                    status, payload = 500, {"error": f"{type(exc).__name__}: {exc}"}
+                    status, payload = 500, error_body(
+                        "internal", f"{type(exc).__name__}: {exc}"
+                    )
                 finally:
                     self._in_progress -= 1
                     self.metrics.gauge("in_progress").set(self._in_progress)
@@ -356,7 +468,7 @@ class SchedulingService:
             (time.perf_counter() - t0) * 1e3
         )
         self.metrics.counter(f"responses:{path}:{status}").inc()
-        return status, payload
+        return self._shape(status, payload, path, root.trace_id)
 
     def _ingest_spans(self, spans: list[dict]) -> None:
         """Fold a request's finished spans into histograms and the export.
@@ -382,7 +494,7 @@ class SchedulingService:
         try:
             return json.loads(body.decode())
         except (UnicodeDecodeError, json.JSONDecodeError) as exc:
-            return 400, {"error": f"invalid JSON body: {exc}"}
+            return 400, error_body("invalid_json", f"invalid JSON body: {exc}")
 
     # -- endpoint handlers ---------------------------------------------------------
 
@@ -429,7 +541,7 @@ class SchedulingService:
         result = await self.batcher.submit(job)
         self._adopt_spans(result)
         if "error" in result:
-            return self._error_status(result), {"error": result["error"]}
+            return self._error_status(result), self._worker_error(result)
         if result.get("degraded"):
             self.metrics.counter("degraded_total").inc()
             return 200, {**result, "cache_hit": False}  # never cache degraded
@@ -472,6 +584,8 @@ class SchedulingService:
         )
         async with self._admit_lock:  # admissions are stateful: serialize them
             admission = self._admission_for(req)
+            if req.peek:
+                return 200, self._peek_snapshot(admission)
             if req.reset:
                 admission.reset()
             if req.task is None:
@@ -508,6 +622,56 @@ class SchedulingService:
             "total_subintervals": decision.total_subintervals,
         }
 
+    @staticmethod
+    def _peek_snapshot(admission) -> dict:
+        """Read-only snapshot of one platform's committed plan.
+
+        Floats round-trip JSON bit-exactly (json uses ``repr``), so two
+        deployments that built the same plan return byte-identical
+        snapshots — the probe the sharding equivalence checks compare.
+        """
+        session = admission.session
+        if session.is_empty:
+            return {
+                "peek": True,
+                "committed": 0,
+                "energy": 0.0,
+                "boundaries": [],
+                "x": [],
+                "n_subintervals": 0,
+            }
+        plan = session.plan()
+        return {
+            "peek": True,
+            "committed": len(admission.committed or ()),
+            "energy": float(session.energy),
+            "boundaries": [float(b) for b in session.boundaries],
+            "x": [[float(v) for v in row] for row in plan.x],
+            "n_subintervals": session.n_subintervals,
+        }
+
+    async def _handle_solvers(self, _body: dict, _headers: dict):
+        from ..engine import solver_catalog
+
+        degrade_to = (
+            self.config.degrade_to
+            if self.config.solver_timeout > 0 and self.config.degrade_to
+            else None
+        )
+        catalog = []
+        for entry in solver_catalog():
+            entry = dict(entry)
+            # exact backends run under the solver timeout and fall back to
+            # the configured heuristic; everything else never degrades
+            entry["degrades_to"] = degrade_to if entry["optimal_only"] else None
+            catalog.append(entry)
+        return 200, {
+            "api_version": API_VERSION,
+            "solvers": catalog,
+            "default_method": "der",
+            "default_optimal": "interior-point",
+        }
+
     def _arm_degradation(self, job: dict, canonical_solver: str) -> None:
         """Attach timeout/fallback to jobs running an exact backend.
 
@@ -527,6 +691,12 @@ class SchedulingService:
     def _error_status(result: dict) -> int:
         """HTTP status for a worker error dict (abandoned ⇒ retryable 503)."""
         return 503 if result.get("abandoned") else 500
+
+    @staticmethod
+    def _worker_error(result: dict) -> dict:
+        """Unified error payload for a failed pool job."""
+        code = "abandoned" if result.get("abandoned") else "internal"
+        return error_body(code, result["error"])
 
     async def _handle_optimal(self, body: dict, _headers: dict):
         req = OptimalRequest.from_body(
@@ -549,7 +719,7 @@ class SchedulingService:
         result = await self.dispatcher.solve_optimal(job)
         self._adopt_spans(result)
         if "error" in result:
-            return self._error_status(result), {"error": result["error"]}
+            return self._error_status(result), self._worker_error(result)
         if result.get("degraded"):
             self.metrics.counter("degraded_total").inc()
         return 200, result

@@ -1,0 +1,289 @@
+"""The scale-out tier: consistent-hash ring, platform keys, shard router.
+
+Pure-logic tests (HashRing, platform_key, shard_config) run everywhere;
+the router end-to-end tests spawn real shard processes and are kept to
+two small deployments to stay cheap.  The sharding contract:
+
+* ``HashRing`` is deterministic across processes (SHA-256, not
+  ``hash()``) and removing a node only reassigns that node's keys,
+* ``platform_key`` normalizes spelling (``3`` vs ``3.0``) and fills
+  config defaults, so equivalent platforms land on one shard,
+* ``/admit`` traffic for one platform always reaches the same shard,
+  and a killed shard is respawned with its session replayed — the
+  stream continues as if nothing happened,
+* a sharded deployment is observationally identical to the
+  single-process engine (bit-equal admit responses and plan snapshots).
+"""
+
+import asyncio
+import json
+import os
+import signal
+
+import pytest
+
+from repro.service import SchedulingService, ServiceConfig, ShardRouter
+from repro.service.loadgen import HttpClient, request_once
+from repro.service.shard import HashRing, platform_key, shard_config
+
+_BASE = dict(port=0, workers=0, log_interval=0, batch_window=0.0)
+
+
+def _config(**kwargs) -> ServiceConfig:
+    return ServiceConfig(**{**_BASE, **kwargs})
+
+
+class TestHashRing:
+    def test_deterministic_lookup(self):
+        a = HashRing(range(4))
+        b = HashRing(range(4))
+        keys = [f"key-{i}" for i in range(200)]
+        assert [a.lookup(k) for k in keys] == [b.lookup(k) for k in keys]
+
+    def test_covers_all_nodes(self):
+        ring = HashRing(range(4))
+        owners = {ring.lookup(f"key-{i}") for i in range(500)}
+        assert owners == {0, 1, 2, 3}
+
+    def test_remove_only_moves_the_removed_nodes_keys(self):
+        ring = HashRing(range(4))
+        keys = [f"key-{i}" for i in range(300)]
+        before = {k: ring.lookup(k) for k in keys}
+        ring.remove(2)
+        for k in keys:
+            after = ring.lookup(k)
+            if before[k] != 2:
+                assert after == before[k]
+            else:
+                assert after != 2
+
+    def test_readding_restores_the_original_assignment(self):
+        ring = HashRing(range(4))
+        keys = [f"key-{i}" for i in range(300)]
+        before = {k: ring.lookup(k) for k in keys}
+        ring.remove(1)
+        ring.add(1)
+        assert {k: ring.lookup(k) for k in keys} == before
+
+    def test_empty_ring_rejects_lookup(self):
+        with pytest.raises(LookupError):
+            HashRing().lookup("anything")
+
+
+class TestPlatformKey:
+    def test_numeric_spelling_is_normalized(self):
+        config = _config()
+        assert (platform_key({"m": 3, "f_max": 2}, config)
+                == platform_key({"m": 3.0, "f_max": 2.0}, config))
+
+    def test_defaults_fill_missing_fields(self):
+        config = _config(m=4, f_max=2.0)
+        assert (platform_key({}, config)
+                == platform_key({"m": 4, "f_max": 2.0}, config))
+
+    def test_distinct_platforms_get_distinct_keys(self):
+        config = _config()
+        keys = {
+            platform_key(body, config)
+            for body in ({}, {"f_max": 2.0}, {"m": 2}, {"static": 0.05},
+                         {"alpha": 2.0})
+        }
+        assert len(keys) == 5
+
+    def test_key_order_is_irrelevant(self):
+        config = _config()
+        assert (platform_key({"m": 2, "f_max": 2.0}, config)
+                == platform_key({"f_max": 2.0, "m": 2}, config))
+
+
+class TestShardConfig:
+    def test_derived_config_is_a_private_listener(self):
+        base = _config(host="0.0.0.0", port=8080, shards=4,
+                       trace_path="/tmp/t.jsonl")
+        derived = shard_config(base, 2)
+        assert derived.host == "127.0.0.1"
+        assert derived.port == 0
+        assert derived.shards == 0  # a shard never re-shards
+        assert derived.shard_id == 2
+        assert derived.trace_path == "/tmp/t.jsonl.shard2"
+        assert base.shard_id is None  # base untouched
+
+
+def _admit_stream(n: int, seed: int) -> list[list[float]]:
+    import numpy as np
+
+    rng = np.random.default_rng(seed)
+    releases = np.cumsum(rng.exponential(1.0, size=n))
+    works = rng.uniform(5.0, 15.0, size=n)
+    return [[float(r), float(r + w * 1.5), float(w)]
+            for r, w in zip(releases, works)]
+
+
+class TestRouterEndToEnd:
+    def test_affinity_replay_and_single_process_equivalence(self):
+        """One boot, three assertions: every /admit for a platform lands on
+        one shard; killing that shard mid-stream is invisible to the
+        client; the full stream matches a bare SchedulingService."""
+        platforms = ({"f_max": 2.0}, {"f_max": 3.0, "m": 2})
+        streams = {i: _admit_stream(8, 11 + i) for i in range(len(platforms))}
+
+        async def scenario():
+            router = ShardRouter(_config(), shards=2)
+            await router.start()
+            sharded: dict[int, list[str]] = {0: [], 1: []}
+            owner_shards: dict[int, set] = {0: set(), 1: set()}
+            try:
+                client = HttpClient("127.0.0.1", router.port)
+                await client.connect()
+                try:
+                    for i, platform in enumerate(platforms):
+                        await client.request(
+                            "POST", "/admit", {"reset": True, **platform}
+                        )
+                    # first half of each stream, interleaved
+                    for step in range(4):
+                        for i, platform in enumerate(platforms):
+                            status, body = await client.request(
+                                "POST", "/v1/admit",
+                                {"task": streams[i][step], **platform},
+                            )
+                            assert status == 200
+                            owner_shards[i].add(body["meta"]["shard"])
+                            sharded[i].append(
+                                json.dumps(body["result"], sort_keys=True)
+                            )
+                    # consistent hashing: one owner per platform so far
+                    assert all(len(s) == 1 for s in owner_shards.values())
+
+                    # SIGKILL platform 0's owning shard mid-stream
+                    victim = next(iter(owner_shards[0]))
+                    pid = router.manager.get(victim).process.pid
+                    os.kill(pid, signal.SIGKILL)
+                    await asyncio.sleep(0.1)
+
+                    for step in range(4, 8):
+                        for i, platform in enumerate(platforms):
+                            status, body = await client.request(
+                                "POST", "/v1/admit",
+                                {"task": streams[i][step], **platform},
+                            )
+                            assert status == 200, body
+                            owner_shards[i].add(body["meta"]["shard"])
+                            sharded[i].append(
+                                json.dumps(body["result"], sort_keys=True)
+                            )
+                    # the respawned shard rejoins at the same ring position
+                    assert all(len(s) == 1 for s in owner_shards.values())
+                    assert router.manager.get(victim).restarts >= 1
+
+                    peeks = []
+                    for platform in platforms:
+                        _, body = await client.request(
+                            "POST", "/v1/admit", {"peek": True, **platform}
+                        )
+                        peeks.append(
+                            json.dumps(body["result"], sort_keys=True)
+                        )
+                finally:
+                    await client.close()
+            finally:
+                await router.stop()
+
+            # replay the identical streams against the bare engine
+            service = SchedulingService(_config())
+            await service.start()
+            single: dict[int, list[str]] = {0: [], 1: []}
+            try:
+                client = HttpClient("127.0.0.1", service.port)
+                await client.connect()
+                try:
+                    for platform in platforms:
+                        await client.request(
+                            "POST", "/admit", {"reset": True, **platform}
+                        )
+                    for step in range(8):
+                        for i, platform in enumerate(platforms):
+                            _, body = await client.request(
+                                "POST", "/v1/admit",
+                                {"task": streams[i][step], **platform},
+                            )
+                            single[i].append(
+                                json.dumps(body["result"], sort_keys=True)
+                            )
+                    single_peeks = []
+                    for platform in platforms:
+                        _, body = await client.request(
+                            "POST", "/v1/admit", {"peek": True, **platform}
+                        )
+                        single_peeks.append(
+                            json.dumps(body["result"], sort_keys=True)
+                        )
+                finally:
+                    await client.close()
+            finally:
+                await service.stop()
+
+            # bit-equal: every per-event ack and the final plan snapshots,
+            # despite the SIGKILL + replay in the sharded run
+            assert sharded == single
+            assert peeks == single_peeks
+
+        asyncio.run(scenario())
+
+    def test_stateless_routes_balance_and_metrics_merge(self):
+        async def scenario():
+            router = ShardRouter(_config(), shards=2)
+            await router.start()
+            try:
+                client = HttpClient("127.0.0.1", router.port)
+                await client.connect()
+                try:
+                    shards_seen = set()
+                    for i in range(6):
+                        status, body = await client.request(
+                            "POST", "/v1/schedule",
+                            {"tasks": [[0.0, 10.0, 2.0 + i]],
+                             "include_schedule": False},
+                        )
+                        assert status == 200
+                        shards_seen.add(body["meta"]["shard"])
+                finally:
+                    await client.close()
+                # sequential keep-alive traffic: zero outstanding at each
+                # pick, so round-robin tie-break spreads over both shards
+                assert shards_seen == {0, 1}
+
+                status, body = await request_once(
+                    "127.0.0.1", router.port, "GET", "/v1/metrics"
+                )
+                assert status == 200
+                result = body["result"]
+                assert set(result["shards"]) == {"0", "1"}
+                per_shard = [
+                    result["shards"][s]["metrics"]["counters"].get(
+                        "requests_total:/v1/schedule", 0
+                    )
+                    for s in ("0", "1")
+                ]
+                assert sum(per_shard) == 6
+                assert all(c > 0 for c in per_shard)
+                assert result["router"]["shards"] == 2
+                status_rows = result["router"]["shard_status"]
+                assert [r["alive"] for r in status_rows] == [True, True]
+
+                status, body = await request_once(
+                    "127.0.0.1", router.port, "GET", "/v1/healthz"
+                )
+                assert status == 200
+                assert body["result"]["status"] == "ok"
+                assert [s["alive"] for s in body["result"]["shards"]] == [
+                    True, True
+                ]
+            finally:
+                await router.stop()
+
+        asyncio.run(scenario())
+
+
+if __name__ == "__main__":
+    pytest.main([__file__, "-v"])
